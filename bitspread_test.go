@@ -1,0 +1,137 @@
+package bitspread_test
+
+import (
+	"math"
+	"testing"
+
+	"bitspread"
+)
+
+// TestPublicAPIEndToEnd walks the documented quick-start path through the
+// facade: build a rule, run the parallel engine, analyse its bias, and
+// cross-check with the exact chain.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const n = 256
+	cfg := bitspread.Config{
+		N:    n,
+		Rule: bitspread.Voter(1),
+		Z:    1,
+		X0:   bitspread.WorstCaseInit(n, 1),
+	}
+	res, err := bitspread.RunParallel(cfg, bitspread.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.FinalCount != n {
+		t.Fatalf("quick start did not converge: %+v", res)
+	}
+
+	a := bitspread.AnalyzeBias(bitspread.Minority(3))
+	if a.Classify() != bitspread.CaseNegative {
+		t.Errorf("Minority(3) case = %v", a.Classify())
+	}
+	if got := len(a.Roots()); got != 3 {
+		t.Errorf("Minority(3) roots = %d, want 3", got)
+	}
+
+	chain, err := bitspread.ParallelChain(bitspread.Voter(1), 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := chain.ExpectedHittingTimes(map[int]bool{32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[1] <= 0 || math.IsInf(h[1], 1) {
+		t.Errorf("exact hitting time = %v", h[1])
+	}
+}
+
+func TestPublicTaskRunner(t *testing.T) {
+	out, err := bitspread.RunTask(bitspread.Task{
+		Name: "facade",
+		Config: bitspread.Config{
+			N:    64,
+			Rule: bitspread.Minority(bitspread.SqrtNLogN(1).Of(64)),
+			Z:    0,
+			X0:   bitspread.WorstCaseInit(64, 0),
+		},
+		Mode:     bitspread.ModeParallel,
+		Replicas: 8,
+		Seed:     7,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ConvergedCount() != 8 {
+		t.Errorf("converged %d of 8", out.ConvergedCount())
+	}
+	if s := bitspread.Summarize(nil); s.N != 0 {
+		t.Error("Summarize facade broken")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(bitspread.AllExperiments()) != len(bitspread.ExperimentIDs()) {
+		t.Error("experiment registry inconsistent")
+	}
+	e, ok := bitspread.ExperimentByID("F4")
+	if !ok {
+		t.Fatal("F4 missing")
+	}
+	res, err := e.Run(bitspread.ExperimentOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["identity_violations"] != 0 {
+		t.Errorf("duality violated via facade: %v", res.Metrics)
+	}
+}
+
+func TestPublicDual(t *testing.T) {
+	res := bitspread.CoalescenceTime(128, 10_000, bitspread.NewRNG(3), false)
+	if !res.Absorbed {
+		t.Error("coalescence failed")
+	}
+	exec, err := bitspread.RunDual(16, 50, 1, 5, bitspread.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(exec.OpinionsAt(0)); got != 16 {
+		t.Errorf("dual execution width = %d", got)
+	}
+}
+
+// TestConflictCrossValidation cross-checks two independent
+// implementations of the zealot process: the Monte-Carlo conflict engine
+// and the exact conflict chain's stationary law.
+func TestConflictCrossValidation(t *testing.T) {
+	const (
+		n      = 64
+		s1, s0 = 2, 1
+	)
+	chain, err := bitspread.ConflictChain(bitspread.Voter(1), n, s1, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := chain.StationaryFrom(n/2, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := bitspread.DistMean(pi) / n
+
+	res, err := bitspread.RunConflict(bitspread.ConflictConfig{
+		N: n, Rule: bitspread.Voter(1), Sources1: s1, Sources0: s0,
+		X0: n / 2, Rounds: 100_000,
+	}, bitspread.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanFraction-exact) > 0.03 {
+		t.Errorf("Monte-Carlo mean %v vs exact stationary mean %v", res.MeanFraction, exact)
+	}
+	want := float64(s1) / float64(s1+s0)
+	if math.Abs(exact-want) > 1e-6 {
+		t.Errorf("exact stationary mean %v vs zealot formula %v", exact, want)
+	}
+}

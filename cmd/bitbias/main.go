@@ -1,0 +1,149 @@
+// Command bitbias prints the bias-polynomial analysis of a rule — the
+// paper's Section 4 machinery as a tool: F_n(p) in closed form, its roots
+// in [0,1] with the sign pattern between them, the Theorem 12 proof case,
+// the derived (a₁,a₂,a₃) constants, and an ASCII drift portrait.
+//
+// Examples:
+//
+//	bitbias -rule minority -ell 3
+//	bitbias -rule majority -ell 5
+//	bitbias -rule biased -ell 4 -delta -0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bitspread/internal/bias"
+	"bitspread/internal/cli"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bitbias:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bitbias", flag.ContinueOnError)
+	var (
+		ruleName  = fs.String("rule", "minority", "update rule: "+cli.RuleNames())
+		ell       = fs.Int("ell", 3, "sample size ℓ")
+		delta     = fs.Float64("delta", 0.1, "tilt for -rule biased / laziness for -rule lazy")
+		threshold = fs.Int("threshold", 1, "threshold for -rule follower")
+		width     = fs.Int("width", 61, "portrait width (grid points across [0,1])")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rule, err := cli.BuildRule(*ruleName, *ell, *delta, *threshold)
+	if err != nil {
+		return err
+	}
+
+	a := bias.For(rule)
+	fmt.Fprintf(w, "rule: %v\n", rule)
+	g0, g1 := rule.Tables()
+	fmt.Fprintf(w, "g[0]: %v\ng[1]: %v\n", g0, g1)
+	if err := rule.CheckProp3(); err != nil {
+		fmt.Fprintf(w, "Proposition 3: VIOLATED (%v)\n", err)
+	} else {
+		fmt.Fprintln(w, "Proposition 3: satisfied (consensus absorbing)")
+	}
+
+	fmt.Fprintf(w, "\nF(p) = %v\n", a.F())
+	if a.IsZero() {
+		fmt.Fprintln(w, "F ≡ 0: the Lemma 11 regime (driftless, like the Voter)")
+	} else {
+		fmt.Fprintf(w, "roots in [0,1]: %v\n", a.Roots())
+		fmt.Fprintf(w, "sign pattern:   %v\n", signGlyphs(a.Signs()))
+		fmt.Fprintln(w, "fixed points of the mean-field map p ↦ p + F(p):")
+		for _, fp := range a.Fixpoints() {
+			fmt.Fprintf(w, "  p = %-8.4g %-11s (F' = %+.4g)\n", fp.P, fp.Stability, a.DriftDerivative(fp.P))
+		}
+	}
+	fmt.Fprintf(w, "Theorem 12 case: %v\n", a.Classify())
+
+	c, ok := a.ProofConstants()
+	if ok {
+		fmt.Fprintf(w, "proof constants: a1=%.4f a2=%.4f a3=%.4f, adversarial z=%d, X0/n=%.4f\n",
+			c.A1, c.A2, c.A3, c.Z, c.X0Frac)
+	} else {
+		fmt.Fprintf(w, "Lemma 11 constants: a1=%.2f a2=%.2f a3=%.2f, z=%d, X0/n=%.3f\n",
+			c.A1, c.A2, c.A3, c.Z, c.X0Frac)
+	}
+
+	fmt.Fprintln(w, "\ndrift portrait (column p, value F(p); '+' up, '-' down):")
+	printPortrait(w, a, *width)
+	return nil
+}
+
+func signGlyphs(signs []int) string {
+	parts := make([]string, len(signs))
+	for i, s := range signs {
+		switch {
+		case s > 0:
+			parts[i] = "+"
+		case s < 0:
+			parts[i] = "-"
+		default:
+			parts[i] = "0"
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// printPortrait renders F across [0,1] as a signed bar chart.
+func printPortrait(w io.Writer, a *bias.Analysis, width int) {
+	if width < 11 {
+		width = 11
+	}
+	maxAbs := 0.0
+	vals := make([]float64, width)
+	for i := range vals {
+		p := float64(i) / float64(width-1)
+		vals[i] = a.Drift(p)
+		if v := abs(vals[i]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	const rows = 9 // odd: a middle zero line
+	half := rows / 2
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, v := range vals {
+		lvl := int(v / maxAbs * float64(half))
+		switch {
+		case lvl > 0:
+			for r := half - lvl; r < half; r++ {
+				grid[r][i] = '+'
+			}
+		case lvl < 0:
+			for r := half + 1; r <= half-lvl && r < rows; r++ {
+				grid[r][i] = '-'
+			}
+		}
+		grid[half][i] = '.'
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "  %s\n", row)
+	}
+	fmt.Fprintf(w, "  p=0%sp=1   (|F|max = %.4g)\n", strings.Repeat(" ", width-6), maxAbs)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMinorityPortrait(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "minority", "-ell", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"rule: Minority(ℓ=3)",
+		"Proposition 3: satisfied",
+		"roots in [0,1]",
+		"Case 1",
+		"proof constants",
+		"drift portrait",
+		"attracting",
+		"repelling",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunVoterZeroBias(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "voter", "-ell", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "F ≡ 0") {
+		t.Errorf("voter should report the zero bias:\n%s", out.String())
+	}
+}
+
+func TestRunAntiVoterViolation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "antivoter", "-ell", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VIOLATED") {
+		t.Errorf("antivoter should report a Prop 3 violation:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "bogus"}, &out); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func TestSignGlyphs(t *testing.T) {
+	if got := signGlyphs([]int{1, -1, 0}); got != "+ - 0" {
+		t.Errorf("signGlyphs = %q", got)
+	}
+}
+
+func TestNarrowWidthClamps(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "minority", "-ell", "3", "-width", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "|F|max") {
+		t.Errorf("portrait footer missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,152 @@
+// Command bitexact computes exact (non-Monte-Carlo) quantities of the
+// bit-dissemination chain for small populations: expected convergence
+// times from every state and absorption probabilities, in the parallel
+// setting (dense linear solve) or the sequential setting (closed-form
+// birth–death recursions).
+//
+// Examples:
+//
+//	bitexact -rule voter -ell 1 -n 128 -z 1
+//	bitexact -rule minority -ell 3 -n 200 -z 1 -setting sequential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bitspread/internal/cli"
+	"bitspread/internal/engine"
+	"bitspread/internal/markov"
+	"bitspread/internal/protocol"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bitexact:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bitexact", flag.ContinueOnError)
+	var (
+		ruleName  = fs.String("rule", "voter", "update rule: "+cli.RuleNames())
+		ell       = fs.Int("ell", 1, "sample size ℓ")
+		delta     = fs.Float64("delta", 0.1, "tilt for -rule biased / laziness for -rule lazy")
+		threshold = fs.Int("threshold", 1, "threshold for -rule follower")
+		n         = fs.Int64("n", 64, "population size (parallel setting caps at 2048)")
+		z         = fs.Int("z", 1, "correct opinion")
+		setting   = fs.String("setting", "parallel", "activation model: parallel or sequential")
+		states    = fs.Int("states", 8, "number of starting states to print (spread over the range)")
+		qsd       = fs.Bool("qsd", false, "also print the quasi-stationary trap analysis (parallel setting only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rule, err := cli.BuildRule(*ruleName, *ell, *delta, *threshold)
+	if err != nil {
+		return err
+	}
+	target := int(*n) * *z
+	fmt.Fprintf(w, "rule=%v  n=%d  z=%d  setting=%s  (times in parallel rounds)\n",
+		rule, *n, *z, *setting)
+
+	var hitting func(x int) float64
+	switch *setting {
+	case "parallel":
+		chain, err := markov.ParallelChain(rule, *n, *z)
+		if err != nil {
+			return err
+		}
+		h, err := chain.ExpectedHittingTimes(map[int]bool{target: true})
+		if err != nil {
+			return err
+		}
+		hitting = func(x int) float64 { return h[x] }
+	case "sequential":
+		bd, err := markov.SequentialBirthDeath(rule, *n, *z)
+		if err != nil {
+			return err
+		}
+		hitting = func(x int) float64 {
+			var act float64
+			if x <= target {
+				act = bd.ExpectedTimeUp(x, target)
+			} else {
+				act = bd.ExpectedTimeDown(x, target)
+			}
+			return act / float64(*n) // activations → parallel rounds
+		}
+	default:
+		return fmt.Errorf("unknown setting %q", *setting)
+	}
+
+	lo, hi := int64(*z), *n-1+int64(*z)
+	fmt.Fprintf(w, "%10s  %12s  %14s\n", "X0", "X0/n", "E[τ] rounds")
+	worst := engine.WorstCaseInit(*n, *z)
+	printRow(w, *n, worst, hitting(int(worst)))
+	step := (hi - lo) / int64(*states)
+	if step < 1 {
+		step = 1
+	}
+	for x := lo + step; x < hi; x += step {
+		printRow(w, *n, x, hitting(int(x)))
+	}
+	printRow(w, *n, hi, hitting(int(hi)))
+	if *qsd {
+		if *setting != "parallel" {
+			return fmt.Errorf("-qsd needs -setting parallel")
+		}
+		return printQSD(w, rule, *n, *z)
+	}
+	return nil
+}
+
+// printQSD prints the quasi-stationary distribution of the non-consensus
+// states: where a trapped run spends its time, and the per-round escape
+// rate (whose inverse is the expected convergence time from
+// quasi-stationarity — the metastable view of experiment X6).
+func printQSD(w io.Writer, rule *protocol.Rule, n int64, z int) error {
+	chain, err := markov.ParallelChain(rule, n, z)
+	if err != nil {
+		return err
+	}
+	target := int(n) * z
+	transient := make(map[int]bool, n)
+	lo, hi := z, int(n)-1+z
+	for x := lo; x <= hi; x++ {
+		if x != target {
+			transient[x] = true
+		}
+	}
+	dist, escape, err := chain.QuasiStationary(transient, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nquasi-stationary trap analysis:\n")
+	fmt.Fprintf(w, "  per-round escape rate 1-λ = %.6g\n", escape)
+	fmt.Fprintf(w, "  E[τ from quasi-stationarity] = 1/(1-λ) = %.6g rounds\n", 1/escape)
+	peak, mass := 0, 0.0
+	mean := 0.0
+	for x, m := range dist {
+		mean += float64(x) * m
+		if m > mass {
+			peak, mass = x, m
+		}
+	}
+	fmt.Fprintf(w, "  QSD mean one-fraction %.4f, mode at X=%d (%.4f of the mass)\n",
+		mean/float64(n), peak, mass)
+	return nil
+}
+
+func printRow(w io.Writer, n, x int64, rounds float64) {
+	val := fmt.Sprintf("%.4g", rounds)
+	if math.IsInf(rounds, 1) {
+		val = "+Inf (unreachable)"
+	}
+	fmt.Fprintf(w, "%10d  %12.4f  %14s\n", x, float64(x)/float64(n), val)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunParallelExact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "voter", "-n", "32", "-z", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "E[τ] rounds") || !strings.Contains(got, "1.0000") {
+		t.Errorf("exact table malformed:\n%s", got)
+	}
+	// The consensus row reports 0 expected rounds.
+	if !strings.Contains(got, "             0\n") {
+		t.Errorf("missing zero row for the consensus state:\n%s", got)
+	}
+}
+
+func TestRunSequentialExact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "voter", "-n", "40", "-z", "0", "-setting", "sequential"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "setting=sequential") {
+		t.Errorf("sequential output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-rule", "bogus"},
+		{"-setting", "warp"},
+		{"-n", "100000"}, // beyond the exact-chain cap
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunQSD(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "minority", "-ell", "3", "-n", "32", "-z", "1", "-qsd"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "quasi-stationary") || !strings.Contains(got, "escape rate") {
+		t.Errorf("QSD output missing:\n%s", got)
+	}
+	// The Minority trap's QSD mean sits near the interior attractor 1/2.
+	if !strings.Contains(got, "QSD mean one-fraction 0.5") {
+		t.Errorf("QSD mean not near 0.5:\n%s", got)
+	}
+}
+
+func TestRunQSDRejectsSequential(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rule", "voter", "-n", "16", "-setting", "sequential", "-qsd"}, &out); err == nil {
+		t.Error("sequential -qsd accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunVoterWorstCase(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "voter", "-n", "128", "-z", "1", "-init", "worst", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "converged in") {
+		t.Errorf("expected convergence report:\n%s", got)
+	}
+	if !strings.Contains(got, "rule=Voter(ℓ=1)") {
+		t.Errorf("header missing:\n%s", got)
+	}
+}
+
+func TestRunAdversarialInit(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "minority", "-ell", "3", "-n", "512", "-init", "adversarial", "-rounds", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "adversarial instance") || !strings.Contains(got, "did not converge") {
+		t.Errorf("adversarial run output:\n%s", got)
+	}
+}
+
+func TestRunExplicitInitAndPlot(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "voter", "-n", "64", "-init", "32", "-rounds", "200", "-plot"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "X0=32") {
+		t.Errorf("explicit init not applied:\n%s", out.String())
+	}
+}
+
+func TestRunSequentialAndAgents(t *testing.T) {
+	for _, mode := range []string{"sequential", "agents"} {
+		var out strings.Builder
+		err := run([]string{"-rule", "voter", "-n", "32", "-mode", mode, "-init", "worst"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !strings.Contains(out.String(), "converged in") {
+			t.Errorf("%s mode did not converge:\n%s", mode, out.String())
+		}
+	}
+}
+
+func TestRunNoiseWarns(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "voter", "-n", "32", "-noise", "0.05", "-rounds", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warning") {
+		t.Errorf("noise should warn about Prop 3:\n%s", out.String())
+	}
+}
+
+func TestRunConflictMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "voter", "-n", "128", "-sources1", "3", "-sources0", "1", "-rounds", "2000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "conflict mode") || !strings.Contains(got, "zealot-voter prediction 0.7500") {
+		t.Errorf("conflict output:\n%s", got)
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "voter", "-n", "32", "-init", "16", "-rounds", "30", "-trace", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "round") {
+		t.Errorf("trace lines missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-rule", "bogus"},
+		{"-mode", "warp", "-n", "16"},
+		{"-init", "not-a-number", "-n", "16"},
+		{"-schedule", "bogus"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunTopologyMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-rule", "voter", "-n", "36", "-z", "1", "-topology", "torus", "-rounds", "200000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "topology mode") || !strings.Contains(got, "torus") {
+		t.Errorf("topology output:\n%s", got)
+	}
+	if !strings.Contains(got, "converged in") {
+		t.Errorf("torus voter did not converge:\n%s", got)
+	}
+}
+
+func TestRunTopologyUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-topology", "hypercube", "-n", "16"}, &out); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command bitsweep runs the reproduction harness: every experiment in the
+// paper-vs-measured index (DESIGN.md §4, EXPERIMENTS.md) or a selected
+// subset, printing each experiment's table and verdict.
+//
+// Examples:
+//
+//	bitsweep -list
+//	bitsweep -exp T2
+//	bitsweep -exp all -quick
+//	bitsweep -exp F4 -csv > f4.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bitspread/internal/experiments"
+	"bitspread/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bitsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bitsweep", flag.ContinueOnError)
+	var (
+		expSpec = fs.String("exp", "all", "experiment ID (e.g. T2, F4) or 'all'")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		quick   = fs.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+		seed    = fs.Uint64("seed", 2024, "random seed")
+		workers = fs.Int("workers", 0, "simulation worker goroutines (0: GOMAXPROCS)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+		md      = fs.Bool("md", false, "emit a Markdown paper-vs-measured table (the EXPERIMENTS.md format)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *expSpec == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expSpec, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)",
+					id, strings.Join(experiments.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Workers: *workers, Quick: *quick}
+	if *md {
+		return writeMarkdown(w, selected, opts)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			if tb, ok := res.Table.(*table.Table); ok {
+				if err := tb.WriteCSV(w); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		fmt.Fprintf(w, "== %s — %s ==\n", e.ID, e.Title)
+		fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
+		fmt.Fprintln(w, res.Table.String())
+		fmt.Fprintf(w, "verdict: %s\n", res.Verdict)
+		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// writeMarkdown renders a paper-vs-measured Markdown table, one row per
+// experiment — the machine-regenerated core of EXPERIMENTS.md.
+func writeMarkdown(w io.Writer, selected []experiments.Experiment, opts experiments.Options) error {
+	fmt.Fprintln(w, "| ID | Title | Paper predicts | Measured |")
+	fmt.Fprintln(w, "|----|-------|----------------|----------|")
+	for _, e := range selected {
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+			e.ID, mdEscape(e.Title), mdEscape(e.Claim), mdEscape(res.Verdict))
+	}
+	return nil
+}
+
+// mdEscape keeps table cells on one line and protects pipes.
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
+}

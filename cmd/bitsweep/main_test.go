@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range []string{"T1", "T7", "F4", "X7"} {
+		if !strings.Contains(got, id) {
+			t.Errorf("list missing %s:\n%s", id, got)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "T7", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== T7") || !strings.Contains(got, "verdict:") {
+		t.Errorf("experiment output:\n%s", got)
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "T6, T7", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== T6") || !strings.Contains(got, "== T7") {
+		t.Errorf("multi-experiment output:\n%s", got)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "T6", "-quick", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "rule,") {
+		t.Errorf("CSV header missing:\n%s", got)
+	}
+	if strings.Contains(got, "==") {
+		t.Errorf("CSV mode leaked ASCII decoration:\n%s", got)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "Z9"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "T7", "-quick", "-md"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "| ID | Title |") {
+		t.Errorf("markdown header missing:\n%s", got)
+	}
+	if !strings.Contains(got, "| T7 |") {
+		t.Errorf("markdown row missing:\n%s", got)
+	}
+	// Pipes inside cells must be escaped so the table stays intact.
+	if strings.Contains(got, " |E[X") {
+		t.Errorf("unescaped pipe leaked:\n%s", got)
+	}
+}

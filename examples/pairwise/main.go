@@ -1,0 +1,88 @@
+// Population protocols: the other side of the paper's model boundary.
+//
+// The paper's agents observe sampled opinions passively and keep no
+// memory; [22] (cited in §1.3) shows that in the population-protocol
+// model — active pairwise interactions with O(1) state — bit
+// dissemination is solvable. This example runs the three reference
+// automata and shows where the power comes from:
+//
+//  1. Epidemic broadcast: Θ(n log n) interactions (Θ(log n) parallel
+//     time) — what "being able to tell who is informed" buys.
+//  2. Pairwise Voter with a pinned source: the passive baseline in
+//     pairwise clothing, Θ(n²) interactions.
+//  3. Four-state exact majority with a pinned strong source, started
+//     against an 80% wrong majority: the source annihilates opposing
+//     strong agents without ever being consumed, then converts the rest —
+//     2 bits of memory + active communication beat the configuration the
+//     passive model cannot.
+//
+// Run with:
+//
+//	go run ./examples/pairwise
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bitspread"
+)
+
+const (
+	n    = 1024
+	seed = 99
+)
+
+func main() {
+	master := bitspread.NewRNG(seed)
+
+	run := func(name string, cfg bitspread.PairwiseConfig) {
+		res, err := bitspread.RunPairwise(cfg, master.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		perAgent := float64(res.Interactions) / n
+		fmt.Printf("%-42s success=%-5v  %9d interactions  (%.1f per agent, %.2f·n·ln n)\n",
+			name, res.Stopped, res.Interactions, perAgent,
+			float64(res.Interactions)/(n*math.Log(n)))
+	}
+
+	run("epidemic broadcast from one informed", bitspread.PairwiseConfig{
+		N:        n,
+		Protocol: bitspread.Epidemic{},
+		Init: func(i int) bitspread.PairwiseState {
+			if i == 0 {
+				return 1
+			}
+			return 0
+		},
+		SourceState: -1,
+		Stop:        func(out [2]int) bool { return out[1] == n },
+	})
+
+	run("pairwise Voter + source, all wrong", bitspread.PairwiseConfig{
+		N:           n,
+		Protocol:    bitspread.PairwiseVoter{},
+		Init:        func(int) bitspread.PairwiseState { return 0 },
+		SourceState: 1,
+		Stop:        func(out [2]int) bool { return out[1] == n },
+	})
+
+	run("4-state majority + source, 80% wrong", bitspread.PairwiseConfig{
+		N:        n,
+		Protocol: bitspread.FourStateMajority{},
+		Init: func(i int) bitspread.PairwiseState {
+			if i < n/5 {
+				return 3 // StrongOne: the source's minority side
+			}
+			return 0 // StrongZero
+		},
+		SourceState:     3,
+		MaxInteractions: int64(n) * int64(n) * 64,
+		Stop:            func(out [2]int) bool { return out[1] == n },
+	})
+
+	fmt.Println("\nreading: activeness (reading the partner's state) plus 2 bits of memory")
+	fmt.Println("solve what Theorem 1 forbids in the passive, memory-less model.")
+}

@@ -1,0 +1,47 @@
+// Scaling study with the sweep API: estimate convergence-time exponents
+// for several dynamics in a few lines — the workflow behind the T1/T2/T3
+// experiments, exposed for downstream studies.
+//
+// Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bitspread"
+)
+
+func main() {
+	grid := &bitspread.SweepGrid{
+		Name: "worst-case bit dissemination",
+		Ns:   []int64{512, 1024, 2048, 4096, 8192},
+		Families: []*bitspread.Family{
+			bitspread.VoterFamily(bitspread.Fixed(1)),
+			bitspread.MinorityFamily(bitspread.SqrtNLogN(1)),
+		},
+		Z:        1,
+		Init:     bitspread.SweepWorstCase,
+		Replicas: 12,
+		Seed:     2024,
+	}
+
+	cells, err := grid.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bitspread.SweepTable("τ from the all-wrong start (z=1)", cells))
+
+	for _, fam := range grid.Families {
+		fit, err := bitspread.SweepFitExponent(cells, fam.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s τ ≈ %.2f·n^%.3f  (R²=%.3f)\n", fam.Name(), fit.Coeff, fit.Exponent, fit.R2)
+	}
+	fmt.Println("\nreading: the Voter's exponent sits near 1 (Theorems 1–2: almost-linear is")
+	fmt.Println("optimal without memory at constant ℓ); the large-sample Minority's sits near 0")
+	fmt.Println("(polylog, [15]) — the separation the paper is about.")
+}

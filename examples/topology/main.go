@@ -1,0 +1,84 @@
+// Topology sensitivity: what the paper's uniform-sampling assumption is
+// worth.
+//
+// The model samples uniformly from the whole population — a complete
+// interaction graph. This example restricts the Voter's samples to graph
+// neighbors (the [24] direction) and measures how the source's reach
+// degrades as mixing gets worse: expanders behave like the complete
+// graph, the 2-D torus pays a constant-dimension price, and the 1-D ring
+// is drastically slower.
+//
+// Run with:
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bitspread"
+)
+
+const (
+	side = 14 // torus side: n = 196
+	reps = 10
+	seed = 77
+)
+
+func main() {
+	n := side * side
+	master := bitspread.NewRNG(seed)
+
+	complete, err := bitspread.NewComplete(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	torus, err := bitspread.NewTorus(side, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring, err := bitspread.NewRing(n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring4, err := bitspread.NewRing(n, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	er, err := bitspread.NewErdosRenyi(n, 4*math.Log(float64(n))/float64(n), master.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Voter bit dissemination by topology (n=%d, all-wrong start, z=1)\n\n", n)
+	fmt.Printf("%-18s %14s %14s\n", "topology", "mean τ", "vs complete")
+	base := 0.0
+	for _, topo := range []bitspread.Topology{complete, er, ring4, torus, ring} {
+		sum := 0.0
+		for rep := 0; rep < reps; rep++ {
+			res, err := bitspread.RunOnGraph(bitspread.GraphConfig{
+				Topology:    topo,
+				Rule:        bitspread.Voter(1),
+				Z:           1,
+				InitialOnes: 0,
+				MaxRounds:   int64(8 * n * n),
+			}, master.Split())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Converged {
+				log.Fatalf("%s: run did not converge", topo.Name())
+			}
+			sum += float64(res.Rounds)
+		}
+		mean := sum / reps
+		if base == 0 {
+			base = mean
+		}
+		fmt.Printf("%-18s %14.0f %13.1fx\n", topo.Name(), mean, mean/base)
+	}
+	fmt.Println("\nreading: the paper's uniform-sampling model is the best case;")
+	fmt.Println("poor mixing (low-dimensional lattices) slows the source's influence polynomially.")
+}

@@ -1,0 +1,3 @@
+module bitspread
+
+go 1.22

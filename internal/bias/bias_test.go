@@ -1,0 +1,319 @@
+package bias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bitspread/internal/poly"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+func TestVoterBiasIsZero(t *testing.T) {
+	// Section 4.1: F_voter ≡ 0 for every sample size.
+	for _, ell := range []int{1, 2, 3, 5, 10} {
+		a := For(protocol.Voter(ell))
+		if !a.IsZero() {
+			t.Errorf("Voter(ℓ=%d) bias = %v, want 0", ell, a.F())
+		}
+		if got := a.Classify(); got != CaseZero {
+			t.Errorf("Voter classified as %v", got)
+		}
+	}
+}
+
+func TestLazyVoterBiasIsZero(t *testing.T) {
+	a := For(protocol.LazyVoter(3, 0.4))
+	if !a.IsZero() {
+		t.Errorf("LazyVoter bias = %v, want 0", a.F())
+	}
+}
+
+func TestMinority3Polynomial(t *testing.T) {
+	// Hand computation: F(p) = -p + 3p(1-p)² + p³ = 2p - 6p² + 4p³
+	//                        = 2p(1-p)(1-2p).
+	a := For(protocol.Minority(3))
+	want := poly.New(0, 2, -6, 4)
+	f := a.F()
+	if f.Degree() != 3 {
+		t.Fatalf("degree = %d, want 3 (F = %v)", f.Degree(), f)
+	}
+	for i := 0; i <= 3; i++ {
+		if math.Abs(f[i]-want[i]) > 1e-9 {
+			t.Errorf("coefficient %d = %v, want %v", i, f[i], want[i])
+		}
+	}
+
+	roots := a.Roots()
+	wantRoots := []float64{0, 0.5, 1}
+	if len(roots) != 3 {
+		t.Fatalf("roots = %v, want %v", roots, wantRoots)
+	}
+	for i := range roots {
+		if math.Abs(roots[i]-wantRoots[i]) > 1e-9 {
+			t.Errorf("root %d = %v, want %v", i, roots[i], wantRoots[i])
+		}
+	}
+	if signs := a.Signs(); len(signs) != 2 || signs[0] != 1 || signs[1] != -1 {
+		t.Errorf("signs = %v, want [+1 -1]", signs)
+	}
+	// Minority pushes against the majority: Case 1 near p = 1.
+	if got := a.Classify(); got != CaseNegative {
+		t.Errorf("Minority(3) classified as %v, want CaseNegative", got)
+	}
+}
+
+func TestMajority3IsCasePositive(t *testing.T) {
+	// F_majority(p) = -p(1-p)(1-2p): positive on (1/2, 1).
+	a := For(protocol.Majority(3))
+	if got := a.Classify(); got != CasePositive {
+		t.Errorf("Majority(3) classified as %v, want CasePositive", got)
+	}
+	lo, hi, sign, ok := a.IntervalNearOne()
+	if !ok || sign != 1 {
+		t.Fatalf("IntervalNearOne = (%v,%v,%d,%v)", lo, hi, sign, ok)
+	}
+	if math.Abs(lo-0.5) > 1e-9 || math.Abs(hi-1) > 1e-9 {
+		t.Errorf("interval = (%v, %v), want (0.5, 1)", lo, hi)
+	}
+}
+
+func TestMinorityEvenTieRoot(t *testing.T) {
+	// The ½ tie-break of Eq. 2 forces F(1/2) = 0 for even ℓ.
+	for _, ell := range []int{2, 4, 6, 8} {
+		a := For(protocol.Minority(ell))
+		if a.IsZero() {
+			if ell != 2 {
+				t.Errorf("Minority(ℓ=%d) bias unexpectedly zero", ell)
+			}
+			continue // Minority(2) = Voter(2): F ≡ 0
+		}
+		if got := a.Drift(0.5); math.Abs(got) > 1e-9 {
+			t.Errorf("Minority(ℓ=%d) F(1/2) = %v, want 0", ell, got)
+		}
+	}
+}
+
+func TestBiasedVoterClosedForm(t *testing.T) {
+	// For δ ≤ 1/ℓ (no clamping): F(p) = δ(1 - p^ℓ - (1-p)^ℓ).
+	const ell, delta = 4, 0.1
+	a := For(protocol.BiasedVoter(ell, delta))
+	for _, p := range []float64{0, 0.1, 0.3, 0.5, 0.8, 1} {
+		want := delta * (1 - math.Pow(p, ell) - math.Pow(1-p, ell))
+		if got := a.Drift(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("F(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if got := a.Classify(); got != CasePositive {
+		t.Errorf("BiasedVoter(+δ) classified as %v, want CasePositive", got)
+	}
+	if got := For(protocol.BiasedVoter(ell, -delta)).Classify(); got != CaseNegative {
+		t.Errorf("BiasedVoter(-δ) classified as %v, want CaseNegative", got)
+	}
+}
+
+func TestValidRulesHaveBoundaryRoots(t *testing.T) {
+	// For any rule satisfying Prop 3, F(0) = F(1) = 0.
+	rules := []*protocol.Rule{
+		protocol.Minority(5), protocol.Majority(7), protocol.TwoChoice(),
+		protocol.BiasedVoter(3, 0.2), protocol.Follower(4, 2),
+	}
+	for _, r := range rules {
+		a := For(r)
+		if a.IsZero() {
+			continue
+		}
+		if got := a.Drift(0); math.Abs(got) > 1e-12 {
+			t.Errorf("%v: F(0) = %v", r, got)
+		}
+		if got := a.Drift(1); math.Abs(got) > 1e-9 {
+			t.Errorf("%v: F(1) = %v", r, got)
+		}
+		roots := a.Roots()
+		if len(roots) < 2 || roots[0] > 1e-9 || roots[len(roots)-1] < 1-1e-9 {
+			t.Errorf("%v: roots %v must include 0 and 1", r, roots)
+		}
+		// Degree bound from Eq. 3: deg F ≤ ℓ+1, so at most ℓ+1 roots.
+		if len(roots) > r.SampleSize()+1 {
+			t.Errorf("%v: %d roots exceeds ℓ+1", r, len(roots))
+		}
+	}
+}
+
+// TestEq7Identity checks F(p) = p·P₁(p) + (1-p)·P₀(p) - p (Eq. 7) for
+// randomized valid rules, tying the polynomial construction to the
+// independently-computed AdoptProb.
+func TestEq7Identity(t *testing.T) {
+	f := func(seed uint32, raw [6]uint8, pRaw uint16) bool {
+		const ell = 5
+		g0 := make([]float64, ell+1)
+		g1 := make([]float64, ell+1)
+		for k := 0; k <= ell; k++ {
+			g0[k] = float64(raw[k%len(raw)]) / 255
+			g1[k] = float64(raw[(k+3)%len(raw)]) / 255
+		}
+		g0[0], g1[ell] = 0, 1 // Prop 3
+		r := protocol.MustNew("rand", ell, g0, g1)
+		a := For(r)
+		p := float64(pRaw) / math.MaxUint16
+		want := p*r.AdoptProb(1, p) + (1-p)*r.AdoptProb(0, p) - p
+		return math.Abs(a.Drift(p)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedNext(t *testing.T) {
+	// Voter: E[X_{t+1}] prediction is x itself (F ≡ 0).
+	a := For(protocol.Voter(3))
+	if got := a.ExpectedNext(1000, 700); got != 700 {
+		t.Errorf("Voter ExpectedNext = %v, want 700", got)
+	}
+	// Minority(3) at p = 0.75: F = 2·.75·.25·(-.5) = -0.1875.
+	a = For(protocol.Minority(3))
+	want := 750 + 1000*(-0.1875)
+	if got := a.ExpectedNext(1000, 750); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Minority ExpectedNext = %v, want %v", got, want)
+	}
+}
+
+func TestProofConstants(t *testing.T) {
+	t.Run("case negative (minority)", func(t *testing.T) {
+		a := For(protocol.Minority(3))
+		c, ok := a.ProofConstants()
+		if !ok {
+			t.Fatal("expected derivable constants")
+		}
+		if !(0.5 < c.A1 && c.A1 < c.A2 && c.A2 < c.A3 && c.A3 < 1) {
+			t.Errorf("constants out of order: %+v", c)
+		}
+		if c.Z != 1 {
+			t.Errorf("Case 1 adversarial z = %d, want 1", c.Z)
+		}
+		if c.X0Frac <= c.A2 || c.X0Frac >= c.A3 {
+			t.Errorf("X0 fraction %v outside (a2, a3)", c.X0Frac)
+		}
+		// F must actually be negative on [a1, a3].
+		for _, p := range []float64{c.A1, (c.A1 + c.A3) / 2, c.A3} {
+			if a.Drift(p) >= 0 {
+				t.Errorf("F(%v) = %v, want < 0", p, a.Drift(p))
+			}
+		}
+	})
+	t.Run("case positive (majority)", func(t *testing.T) {
+		a := For(protocol.Majority(3))
+		c, ok := a.ProofConstants()
+		if !ok {
+			t.Fatal("expected derivable constants")
+		}
+		if c.Z != 0 {
+			t.Errorf("Case 2 adversarial z = %d, want 0", c.Z)
+		}
+		if !(0.5 < c.A1 && c.A1 < c.A2 && c.A2 < c.A3 && c.A3 < 1) {
+			t.Errorf("constants out of order: %+v", c)
+		}
+		if c.X0Frac <= c.A1 || c.X0Frac >= c.A2 {
+			t.Errorf("X0 fraction %v outside (a1, a2)", c.X0Frac)
+		}
+		for _, p := range []float64{c.A1, c.A2, c.A3} {
+			if a.Drift(p) <= 0 {
+				t.Errorf("F(%v) = %v, want > 0", p, a.Drift(p))
+			}
+		}
+	})
+	t.Run("case zero (voter)", func(t *testing.T) {
+		c, ok := For(protocol.Voter(1)).ProofConstants()
+		if ok {
+			t.Error("CaseZero should report ok = false")
+		}
+		if c.A1 != 0.25 || c.A2 != 0.5 || c.A3 != 0.75 || c.Z != 1 {
+			t.Errorf("Lemma 11 constants = %+v", c)
+		}
+	})
+}
+
+func TestDriftMatchesMonteCarlo(t *testing.T) {
+	// The polynomial drift must match a direct expectation computed from
+	// the rule tables: E[g(K)] with K ~ Binomial(ℓ, p), mixed over opinions.
+	r := protocol.TwoChoice()
+	a := For(r)
+	for _, p := range []float64{0.2, 0.5, 0.7} {
+		direct := p*r.AdoptProb(1, p) + (1-p)*r.AdoptProb(0, p) - p
+		if got := a.Drift(p); math.Abs(got-direct) > 1e-12 {
+			t.Errorf("TwoChoice drift(%v) = %v, want %v", p, got, direct)
+		}
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	for _, c := range []Case{CaseZero, CaseNegative, CasePositive, Case(99)} {
+		if c.String() == "" {
+			t.Errorf("empty String for %d", int(c))
+		}
+	}
+}
+
+func TestFReturnsCopy(t *testing.T) {
+	a := For(protocol.Minority(3))
+	f := a.F()
+	if len(f) > 1 {
+		f[1] = 999
+	}
+	if a.Drift(0.25) != a.f.Eval(0.25) {
+		t.Error("F() leaked internal state")
+	}
+	if math.Abs(a.F()[1]-2) > 1e-9 {
+		t.Error("mutating F() copy affected the analysis")
+	}
+}
+
+func TestProofConstantsPropertyRandomRules(t *testing.T) {
+	// For random valid rules: the derived constants are ordered, the
+	// adversarial start is feasible, and F has the case's sign on the
+	// working interval [a1, a3] (Case 1) or [a1, a3] (Case 2), as the
+	// Theorem 12 proof requires.
+	g := rng.New(321)
+	for i := 0; i < 200; i++ {
+		ell := 2 + i%5
+		r := protocol.Random(ell, g.Split())
+		a := For(r)
+		c, ok := a.ProofConstants()
+		if !ok {
+			continue // CaseZero: Lemma 11 constants, nothing to check here
+		}
+		if !(c.A1 < c.A2 && c.A2 < c.A3) {
+			t.Fatalf("rule %d: constants out of order %+v", i, c)
+		}
+		if c.X0Frac <= 0 || c.X0Frac >= 1 {
+			t.Fatalf("rule %d: infeasible X0 fraction %v", i, c.X0Frac)
+		}
+		wantSign := 0
+		switch a.Classify() {
+		case CaseNegative:
+			wantSign = -1
+			if c.Z != 1 {
+				t.Fatalf("rule %d: Case 1 must set z=1", i)
+			}
+		case CasePositive:
+			wantSign = 1
+			if c.Z != 0 {
+				t.Fatalf("rule %d: Case 2 must set z=0", i)
+			}
+		}
+		// Check the sign at a few interior points of (a1, min(a3, last
+		// root)) — for Case 1, a3 may exceed nothing since a3 < 1 and the
+		// interval (r, 1) hosts the sign.
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			p := c.A1 + frac*(c.A3-c.A1)
+			v := a.Drift(p)
+			if wantSign < 0 && v >= 0 {
+				t.Fatalf("rule %d: Case 1 but F(%v) = %v >= 0", i, p, v)
+			}
+			if wantSign > 0 && v <= 0 {
+				t.Fatalf("rule %d: Case 2 but F(%v) = %v <= 0", i, p, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package bias
+
+import "bitspread/internal/poly"
+
+// Stability classifies a fixed point of the mean-field map p ↦ p + F(p).
+type Stability int
+
+const (
+	// Attracting: F crosses zero downward (F' < 0); the dynamics pulls
+	// nearby fractions toward the point. Interior attracting fixpoints
+	// are the "traps" behind experiment X6.
+	Attracting Stability = iota + 1
+	// Repelling: F crosses zero upward (F' > 0); nearby fractions flee.
+	Repelling
+	// SemiStable: F touches zero without changing sign (even
+	// multiplicity), attracting from one side only.
+	SemiStable
+)
+
+// String implements fmt.Stringer.
+func (s Stability) String() string {
+	switch s {
+	case Attracting:
+		return "attracting"
+	case Repelling:
+		return "repelling"
+	case SemiStable:
+		return "semi-stable"
+	default:
+		return "unknown"
+	}
+}
+
+// Fixpoint is a root of F with its mean-field stability.
+type Fixpoint struct {
+	P         float64
+	Stability Stability
+}
+
+// Fixpoints returns the roots of F in [0, 1] classified by the sign of F
+// on the two sides (robust to even multiplicities, unlike a derivative
+// test at the root). The boundary roots 0 and 1 are classified by their
+// single interior side: e.g. p = 1 is attracting when F > 0 just below
+// it. Returns nil when F ≡ 0 (every point is neutrally fixed).
+func (a *Analysis) Fixpoints() []Fixpoint {
+	if a.IsZero() {
+		return nil
+	}
+	out := make([]Fixpoint, 0, len(a.roots))
+	for i, r := range a.roots {
+		left, right := 0, 0
+		if i > 0 {
+			left = a.signs[i-1]
+		}
+		if i < len(a.signs) {
+			right = a.signs[i]
+		}
+		out = append(out, Fixpoint{P: r, Stability: classify(left, right)})
+	}
+	return out
+}
+
+// classify maps the signs of F on the left and right of a root to a
+// stability class. A missing side (boundary root) is encoded as 0 and
+// the remaining side decides.
+func classify(left, right int) Stability {
+	switch {
+	case left == 0 && right == 0:
+		return SemiStable // isolated numerically-flat root
+	case left == 0: // boundary root at 0: only the right side exists
+		if right < 0 {
+			return Attracting
+		}
+		return Repelling
+	case right == 0: // boundary root at 1: only the left side exists
+		if left > 0 {
+			return Attracting
+		}
+		return Repelling
+	case left > 0 && right < 0:
+		return Attracting
+	case left < 0 && right > 0:
+		return Repelling
+	default:
+		return SemiStable
+	}
+}
+
+// DriftDerivative returns F'(p), useful for local convergence-rate
+// estimates around a fixpoint (the mean-field contraction factor per
+// round is 1 + F'(p*)).
+func (a *Analysis) DriftDerivative(p float64) float64 {
+	return poly.Poly(a.f).Derivative().Eval(p)
+}

@@ -1,0 +1,82 @@
+package bias
+
+import (
+	"math"
+	"testing"
+
+	"bitspread/internal/protocol"
+)
+
+func TestFixpointsMinority(t *testing.T) {
+	// F = 2p(1-p)(1-2p): 0 repelling, 1/2 attracting, 1 repelling — the
+	// interior attractor is the trap of X6.
+	fps := For(protocol.Minority(3)).Fixpoints()
+	if len(fps) != 3 {
+		t.Fatalf("fixpoints = %v", fps)
+	}
+	want := []struct {
+		p float64
+		s Stability
+	}{
+		{0, Repelling}, {0.5, Attracting}, {1, Repelling},
+	}
+	for i, w := range want {
+		if math.Abs(fps[i].P-w.p) > 1e-9 || fps[i].Stability != w.s {
+			t.Errorf("fixpoint %d = %+v, want (%v, %v)", i, fps[i], w.p, w.s)
+		}
+	}
+}
+
+func TestFixpointsMajority(t *testing.T) {
+	// F = -p(1-p)(1-2p): both consensuses attract, 1/2 repels — why
+	// Majority locks whichever side it starts on.
+	fps := For(protocol.Majority(3)).Fixpoints()
+	if len(fps) != 3 {
+		t.Fatalf("fixpoints = %v", fps)
+	}
+	if fps[0].Stability != Attracting || fps[1].Stability != Repelling || fps[2].Stability != Attracting {
+		t.Errorf("majority stabilities = %v", fps)
+	}
+}
+
+func TestFixpointsBiasedVoter(t *testing.T) {
+	// F = δ(1 - p^ℓ - (1-p)^ℓ) > 0 inside: 0 repels, 1 attracts.
+	fps := For(protocol.BiasedVoter(4, 0.1)).Fixpoints()
+	if len(fps) != 2 {
+		t.Fatalf("fixpoints = %v", fps)
+	}
+	if fps[0].Stability != Repelling || fps[1].Stability != Attracting {
+		t.Errorf("biased voter stabilities = %v", fps)
+	}
+}
+
+func TestFixpointsVoterNil(t *testing.T) {
+	if fps := For(protocol.Voter(2)).Fixpoints(); fps != nil {
+		t.Errorf("driftless rule has fixpoints %v, want nil", fps)
+	}
+}
+
+func TestDriftDerivative(t *testing.T) {
+	// Minority(3): F = 2p - 6p² + 4p³, F' = 2 - 12p + 12p².
+	a := For(protocol.Minority(3))
+	cases := []struct{ p, want float64 }{
+		{0, 2}, {0.5, -1}, {1, 2},
+	}
+	for _, c := range cases {
+		if got := a.DriftDerivative(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("F'(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Sign of F' at a root matches the side-based classification.
+	if a.DriftDerivative(0.5) >= 0 {
+		t.Error("attracting fixpoint must have F' < 0")
+	}
+}
+
+func TestStabilityString(t *testing.T) {
+	for _, s := range []Stability{Attracting, Repelling, SemiStable, Stability(9)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}

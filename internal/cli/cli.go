@@ -1,0 +1,66 @@
+// Package cli holds the flag-level plumbing shared by the cmd/ binaries:
+// building rules and sample-size schedules from string specifications.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"bitspread/internal/protocol"
+)
+
+// RuleNames lists the rule spec names understood by BuildRule.
+func RuleNames() string {
+	return "voter, minority, majority, 3majority, 2choice, antivoter, biased, lazy, follower"
+}
+
+// BuildRule constructs a rule from its CLI specification. delta is used by
+// "biased" (the tilt) and "lazy" (the laziness); threshold by "follower".
+func BuildRule(name string, ell int, delta float64, threshold int) (*protocol.Rule, error) {
+	switch strings.ToLower(name) {
+	case "voter":
+		return protocol.Voter(ell), nil
+	case "minority":
+		return protocol.Minority(ell), nil
+	case "majority":
+		return protocol.Majority(ell), nil
+	case "3majority":
+		return protocol.ThreeMajority(), nil
+	case "2choice", "twochoice":
+		return protocol.TwoChoice(), nil
+	case "antivoter":
+		return protocol.AntiVoter(ell), nil
+	case "biased":
+		return protocol.BiasedVoter(ell, delta), nil
+	case "lazy":
+		return protocol.LazyVoter(ell, delta), nil
+	case "follower":
+		if threshold < 1 || threshold > ell {
+			return nil, fmt.Errorf("cli: follower threshold %d outside [1, %d]", threshold, ell)
+		}
+		return protocol.Follower(ell, threshold), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown rule %q (want one of: %s)", name, RuleNames())
+	}
+}
+
+// BuildSchedule constructs a sample-size schedule from its CLI spec:
+// "fixed" (uses ell), "sqrtnlogn", "logn", or "power" (uses coeff and
+// alpha).
+func BuildSchedule(spec string, ell int, coeff, alpha float64) (protocol.SampleSchedule, error) {
+	switch strings.ToLower(spec) {
+	case "", "fixed":
+		if ell < 1 {
+			return protocol.SampleSchedule{}, fmt.Errorf("cli: fixed schedule needs -ell >= 1, got %d", ell)
+		}
+		return protocol.Fixed(ell), nil
+	case "sqrtnlogn":
+		return protocol.SqrtNLogN(coeff), nil
+	case "logn":
+		return protocol.LogN(coeff), nil
+	case "power":
+		return protocol.PowerN(coeff, alpha), nil
+	default:
+		return protocol.SampleSchedule{}, fmt.Errorf("cli: unknown schedule %q (want fixed, sqrtnlogn, logn, power)", spec)
+	}
+}

@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildRule(t *testing.T) {
+	tests := []struct {
+		name      string
+		spec      string
+		ell       int
+		delta     float64
+		threshold int
+		wantName  string
+		wantEll   int
+		wantErr   bool
+	}{
+		{"voter", "voter", 3, 0, 1, "Voter", 3, false},
+		{"minority", "minority", 5, 0, 1, "Minority", 5, false},
+		{"majority upper", "MAJORITY", 3, 0, 1, "Majority", 3, false},
+		{"3majority ignores ell", "3majority", 9, 0, 1, "3-Majority", 3, false},
+		{"2choice", "2choice", 9, 0, 1, "2-Choice", 2, false},
+		{"twochoice alias", "twochoice", 9, 0, 1, "2-Choice", 2, false},
+		{"antivoter", "antivoter", 2, 0, 1, "AntiVoter", 2, false},
+		{"biased", "biased", 4, 0.1, 1, "BiasedVoter(δ=+0.1)", 4, false},
+		{"lazy", "lazy", 2, 0.3, 1, "LazyVoter(q=0.3)", 2, false},
+		{"follower", "follower", 5, 0, 3, "Follower(θ=3)", 5, false},
+		{"follower bad threshold", "follower", 5, 0, 9, "", 0, true},
+		{"unknown", "gossip", 3, 0, 1, "", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r, err := BuildRule(tt.spec, tt.ell, tt.delta, tt.threshold)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Name() != tt.wantName {
+				t.Errorf("name = %q, want %q", r.Name(), tt.wantName)
+			}
+			if r.SampleSize() != tt.wantEll {
+				t.Errorf("ℓ = %d, want %d", r.SampleSize(), tt.wantEll)
+			}
+		})
+	}
+}
+
+func TestBuildRuleErrorMentionsOptions(t *testing.T) {
+	_, err := BuildRule("nope", 1, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "voter") {
+		t.Errorf("error should list known rules: %v", err)
+	}
+}
+
+func TestBuildSchedule(t *testing.T) {
+	tests := []struct {
+		spec    string
+		ell     int
+		coeff   float64
+		alpha   float64
+		n       int64
+		want    int
+		wantErr bool
+	}{
+		{"fixed", 7, 0, 0, 1000000, 7, false},
+		{"", 4, 0, 0, 10, 4, false}, // empty defaults to fixed
+		{"fixed", 0, 0, 0, 10, 0, true},
+		{"sqrtnlogn", 0, 1, 0, 1024, 85, false},
+		{"logn", 0, 1, 0, 1024, 7, false},
+		{"power", 0, 1, 0.5, 100, 10, false},
+		{"POWER", 0, 2, 0.5, 100, 20, false},
+		{"mystery", 1, 0, 0, 10, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			s, err := BuildSchedule(tt.spec, tt.ell, tt.coeff, tt.alpha)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Of(tt.n); got != tt.want {
+				t.Errorf("Of(%d) = %d, want %d", tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	names := RuleNames()
+	for _, want := range []string{"voter", "minority", "majority", "follower"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("RuleNames() missing %q: %s", want, names)
+		}
+	}
+}

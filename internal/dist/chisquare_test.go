@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// χ²(2) is Exponential(1/2): CDF(x) = 1 - e^{-x/2}.
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("ChiSquareCDF(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+	// Classical critical values: P(χ²(1) ≤ 3.841459) = 0.95,
+	// P(χ²(10) ≤ 18.307038) = 0.95.
+	if got := ChiSquareCDF(3.841458820694124, 1); math.Abs(got-0.95) > 1e-9 {
+		t.Errorf("χ²(1) 95%% point: %v", got)
+	}
+	if got := ChiSquareCDF(18.307038053275146, 10); math.Abs(got-0.95) > 1e-9 {
+		t.Errorf("χ²(10) 95%% point: %v", got)
+	}
+	// Median of χ²(k) approaches k; check order relations.
+	if ChiSquareCDF(10, 10) > 0.6 || ChiSquareCDF(10, 10) < 0.4 {
+		t.Errorf("χ²(10) CDF at 10 = %v, want near 0.5", ChiSquareCDF(10, 10))
+	}
+}
+
+func TestChiSquareCDFEdges(t *testing.T) {
+	if got := ChiSquareCDF(0, 3); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := ChiSquareCDF(-1, 3); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+	if got := ChiSquareTail(1e6, 3); got > 1e-12 {
+		t.Errorf("deep tail = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	ChiSquareCDF(1, 0)
+}
+
+func TestChiSquareCDFMonotone(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 20, 100} {
+		prev := -1.0
+		for x := 0.0; x <= 3*float64(k); x += float64(k) / 10 {
+			v := ChiSquareCDF(x, k)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				t.Fatalf("k=%d: CDF not monotone/valid at x=%v: %v", k, x, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestChiSquareStat(t *testing.T) {
+	// Perfect fit: statistic 0.
+	stat, dof, err := ChiSquareStat([]int64{10, 20, 30}, []float64{10, 20, 30}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 2 {
+		t.Errorf("perfect fit: stat=%v dof=%d", stat, dof)
+	}
+	// Known value: obs (12, 8) vs exp (10, 10): 0.4 + 0.4 = 0.8.
+	stat, dof, err = ChiSquareStat([]int64{12, 8}, []float64{10, 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stat-0.8) > 1e-12 || dof != 1 {
+		t.Errorf("stat=%v dof=%d, want 0.8, 1", stat, dof)
+	}
+	// Pooling: tiny expected cells merge.
+	stat, dof, err = ChiSquareStat([]int64{50, 50, 1, 2}, []float64{50, 50, 0.5, 2.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 2 {
+		t.Errorf("pooled dof = %d, want 2", dof)
+	}
+	if stat != 0 {
+		t.Errorf("pooled stat = %v, want 0 (3 = 3)", stat)
+	}
+	// Errors.
+	if _, _, err := ChiSquareStat([]int64{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareStat([]int64{1}, []float64{1}, 5); err == nil {
+		t.Error("single pooled cell accepted")
+	}
+}
+
+// TestChiSquareSelfConsistency: the statistic of multinomial counts drawn
+// from the expected distribution should be unexceptional (p-value not
+// tiny) — an end-to-end check of stat + CDF together using a fixed,
+// pre-drawn sample.
+func TestChiSquareSelfConsistency(t *testing.T) {
+	// A hand-fixed sample of 600 draws over 6 fair die faces.
+	obs := []int64{96, 104, 99, 108, 93, 100}
+	exp := make([]float64, 6)
+	for i := range exp {
+		exp[i] = 100
+	}
+	stat, dof, err := ChiSquareStat(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ChiSquareTail(stat, dof)
+	if p < 0.1 {
+		t.Errorf("fair-die sample rejected: stat=%v dof=%d p=%v", stat, dof, p)
+	}
+}

@@ -1,0 +1,149 @@
+// Package dual implements the coalescing-random-walk dual of the Voter
+// dynamics used in Appendix B to prove Theorem 2 (see Figure 4).
+//
+// Running the Voter with ℓ = 1 forward in time defines, for every round t
+// and agent i, the sampled agent S_t(i). Reading the same randomness
+// backward defines n random walks W^{(i)} with W_T^{(i)} = i and
+// W_t^{(i)} = S_t(W_{t+1}^{(i)}): agent i's opinion at time T is the
+// opinion, at time 0, of wherever its walk ends — and if the walk ever
+// touches the source (a sink), the opinion is the correct one (Eq. 16–17).
+// Consensus on z is therefore implied by all walks coalescing into the
+// source, which happens within 2·n·ln n rounds w.h.p.
+package dual
+
+import (
+	"fmt"
+
+	"bitspread/internal/rng"
+)
+
+// Execution is a recorded Voter (ℓ=1) run: the full sample table and the
+// opinion history, enabling exact duality checks. Memory is O(n·T), so it
+// is meant for moderate n; use CoalescenceTime for large-scale statistics.
+type Execution struct {
+	n, t    int
+	z       int
+	samples [][]int32 // samples[t][i] = S_t(i); source samples itself
+	ops     [][]uint8 // ops[t][i] = opinion of agent i in round t
+}
+
+// Run simulates T rounds of the Voter dynamics with recorded samples.
+// Agent 0 is the source and always holds z; initialOnes of the remaining
+// agents start with opinion 1 (so the initial one-count is initialOnes+z).
+func Run(n, t, z, initialOnes int, g *rng.RNG) (*Execution, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dual: population %d too small", n)
+	}
+	if z != 0 && z != 1 {
+		return nil, fmt.Errorf("dual: correct opinion %d", z)
+	}
+	if initialOnes < 0 || initialOnes > n-1 {
+		return nil, fmt.Errorf("dual: initialOnes %d outside [0, n-1]", initialOnes)
+	}
+	e := &Execution{
+		n:       n,
+		t:       t,
+		z:       z,
+		samples: make([][]int32, t),
+		ops:     make([][]uint8, t+1),
+	}
+	e.ops[0] = make([]uint8, n)
+	e.ops[0][0] = uint8(z)
+	perm := g.Perm(n - 1)
+	for i := 0; i < initialOnes; i++ {
+		e.ops[0][perm[i]+1] = 1
+	}
+	for round := 0; round < t; round++ {
+		cur := e.ops[round]
+		next := make([]uint8, n)
+		row := make([]int32, n)
+		next[0] = uint8(z)
+		row[0] = 0 // the source "samples itself" (Appendix B convention)
+		for i := 1; i < n; i++ {
+			s := int32(g.Intn(n))
+			row[i] = s
+			next[i] = cur[s]
+		}
+		e.samples[round] = row
+		e.ops[round+1] = next
+	}
+	return e, nil
+}
+
+// OpinionsAt returns a copy of the opinion vector at round t ∈ [0, T].
+func (e *Execution) OpinionsAt(t int) []uint8 {
+	return append([]uint8(nil), e.ops[t]...)
+}
+
+// WalkHitsSource follows the backward dual walk started at agent i in
+// round T and reports whether it ever reaches the source. By Eq. 17 a true
+// result implies agent i holds the correct opinion in round T.
+func (e *Execution) WalkHitsSource(i int) bool {
+	w := int32(i)
+	for t := e.t - 1; t >= 0; t-- {
+		w = e.samples[t][w]
+		if w == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkEndpoint returns the position of the backward dual walk from agent i
+// at round 0: agent i's round-T opinion equals the round-0 opinion of this
+// endpoint (the duality identity, validated in tests).
+func (e *Execution) WalkEndpoint(i int) int {
+	w := int32(i)
+	for t := e.t - 1; t >= 0; t-- {
+		w = e.samples[t][w]
+	}
+	return int(w)
+}
+
+// CoalescenceResult reports a standalone coalescing run.
+type CoalescenceResult struct {
+	// Steps is the number of dual rounds until every walk was absorbed by
+	// the source (or maxSteps if not Absorbed).
+	Steps int64
+	// Absorbed is true when all walks reached the source within maxSteps.
+	Absorbed bool
+	// Survivors traces the number of distinct non-source walk positions
+	// after each step (useful for plotting the coalescence profile).
+	Survivors []int
+}
+
+// CoalescenceTime simulates the dual process directly, without recording a
+// forward execution: n walks start at every agent, each step every walk at
+// a non-source position jumps to a uniformly random agent (walks sharing a
+// position share the jump — they have coalesced), and the source absorbs.
+// It returns the absorption time of the slowest walk.
+//
+// Per Appendix B, for T = 2·n·ln n absorption fails with probability at
+// most 1/n; callers probing Theorem 2 should pass maxSteps ≥ that.
+func CoalescenceTime(n int64, maxSteps int64, g *rng.RNG, trace bool) CoalescenceResult {
+	// Active distinct positions, excluding the source.
+	active := make(map[int64]bool, n)
+	for i := int64(1); i < n; i++ {
+		active[i] = true
+	}
+	res := CoalescenceResult{}
+	for step := int64(1); step <= maxSteps; step++ {
+		next := make(map[int64]bool, len(active))
+		for range active {
+			dst := int64(g.Intn(int(n)))
+			if dst != 0 {
+				next[dst] = true
+			}
+		}
+		active = next
+		res.Steps = step
+		if trace {
+			res.Survivors = append(res.Survivors, len(active))
+		}
+		if len(active) == 0 {
+			res.Absorbed = true
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,156 @@
+package dual
+
+import (
+	"math"
+	"testing"
+
+	"bitspread/internal/rng"
+)
+
+func TestRunValidation(t *testing.T) {
+	g := rng.New(1)
+	if _, err := Run(1, 10, 1, 0, g); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Run(10, 10, 2, 0, g); err == nil {
+		t.Error("z=2 accepted")
+	}
+	if _, err := Run(10, 10, 1, 10, g); err == nil {
+		t.Error("initialOnes = n accepted")
+	}
+}
+
+func TestRunInitialConfiguration(t *testing.T) {
+	g := rng.New(2)
+	e, err := Run(20, 5, 1, 7, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := e.OpinionsAt(0)
+	if ops[0] != 1 {
+		t.Error("source must hold z")
+	}
+	ones := 0
+	for _, o := range ops {
+		ones += int(o)
+	}
+	if ones != 8 { // 7 non-source ones + the source
+		t.Errorf("initial ones = %d, want 8", ones)
+	}
+}
+
+func TestSourceNeverChanges(t *testing.T) {
+	g := rng.New(3)
+	e, err := Run(16, 50, 0, 15, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round <= 50; round++ {
+		if e.OpinionsAt(round)[0] != 0 {
+			t.Fatalf("source flipped at round %d", round)
+		}
+	}
+}
+
+// TestDualityIdentity is the core Appendix B statement: agent i's opinion
+// at round T equals the round-0 opinion of its backward walk's endpoint,
+// and a walk that hits the source certifies the correct opinion (Eq. 17).
+func TestDualityIdentity(t *testing.T) {
+	g := rng.New(4)
+	const n, T, z, ones = 40, 60, 1, 13
+	e, err := Run(n, T, z, ones, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := e.OpinionsAt(0)
+	final := e.OpinionsAt(T)
+	for i := 0; i < n; i++ {
+		endpoint := e.WalkEndpoint(i)
+		if got, want := final[i], initial[endpoint]; got != want {
+			t.Errorf("agent %d: opinion %d, walk endpoint %d holds %d", i, got, endpoint, want)
+		}
+		if e.WalkHitsSource(i) && final[i] != z {
+			t.Errorf("agent %d: walk hit source but opinion = %d ≠ z", i, final[i])
+		}
+	}
+}
+
+func TestAllWalksHitSourceImpliesConsensus(t *testing.T) {
+	// With T well above 2n·ln n, all walks should coalesce into the source
+	// and consensus on z must hold regardless of the initial configuration.
+	g := rng.New(5)
+	const n, z = 24, 0
+	T := int(3 * float64(n) * math.Log(float64(n))) // ≈ 229
+	e, err := Run(n, T, z, n-1, g)                  // all non-source agents start wrong
+	if err != nil {
+		t.Fatal(err)
+	}
+	allHit := true
+	for i := 0; i < n; i++ {
+		if !e.WalkHitsSource(i) {
+			allHit = false
+			break
+		}
+	}
+	if !allHit {
+		t.Skip("rare event: not all walks coalesced within 3n·ln n; skipping consensus check")
+	}
+	for i, o := range e.OpinionsAt(T) {
+		if int(o) != z {
+			t.Errorf("agent %d holds %d after full coalescence", i, o)
+		}
+	}
+}
+
+func TestCoalescenceTimeBound(t *testing.T) {
+	// Theorem 2's engine: absorption within 2n·ln n should succeed in the
+	// vast majority of runs (failure probability ≤ 1/n).
+	g := rng.New(6)
+	const n, reps = 64, 60
+	maxSteps := int64(2 * float64(n) * math.Log(n))
+	failures := 0
+	for i := 0; i < reps; i++ {
+		res := CoalescenceTime(n, maxSteps, g.Split(), false)
+		if !res.Absorbed {
+			failures++
+		} else if res.Steps < 1 || res.Steps > maxSteps {
+			t.Fatalf("steps = %d out of range", res.Steps)
+		}
+	}
+	// Binomial(60, ≤1/64): ≥ 5 failures has probability < 10⁻³.
+	if failures >= 5 {
+		t.Errorf("%d of %d runs failed to coalesce within 2n·ln n", failures, reps)
+	}
+}
+
+func TestCoalescenceSurvivorsMonotone(t *testing.T) {
+	g := rng.New(7)
+	res := CoalescenceTime(128, 10_000, g, true)
+	if !res.Absorbed {
+		t.Fatal("did not absorb")
+	}
+	if int64(len(res.Survivors)) != res.Steps {
+		t.Fatalf("trace length %d, steps %d", len(res.Survivors), res.Steps)
+	}
+	prev := 127 // initial distinct non-source positions
+	for i, s := range res.Survivors {
+		if s > prev {
+			t.Fatalf("survivor count rose at step %d: %d -> %d", i+1, prev, s)
+		}
+		prev = s
+	}
+	if res.Survivors[len(res.Survivors)-1] != 0 {
+		t.Error("final survivor count nonzero despite absorption")
+	}
+}
+
+func TestCoalescenceTimeHonoursCap(t *testing.T) {
+	g := rng.New(8)
+	res := CoalescenceTime(1024, 3, g, false)
+	if res.Absorbed {
+		t.Error("1024 walks cannot coalesce in 3 steps")
+	}
+	if res.Steps != 3 {
+		t.Errorf("steps = %d, want cap 3", res.Steps)
+	}
+}

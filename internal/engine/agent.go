@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"bitspread/internal/rng"
+)
+
+// AgentOptions tunes the literal agent-level simulator.
+type AgentOptions struct {
+	// WithoutReplacement makes each agent draw its ℓ samples as distinct
+	// agents (an ablation; the paper's model samples with replacement).
+	WithoutReplacement bool
+}
+
+// RunAgents simulates the parallel setting literally, agent by agent, per
+// the model definition in Section 1.1: in every round each non-source
+// agent i draws a vector of ℓ agent indices uniformly at random (with
+// replacement, unless opts says otherwise), counts the ones among the
+// sampled opinions, and redraws its opinion from g^[b](k). Agent 0 is the
+// source and always holds z.
+//
+// Cost is O(n·ℓ) per round; the engine exists to cross-validate the exact
+// count-level engine and to host per-agent extensions.
+func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	absorbing := cfg.Rule.CheckProp3() == nil
+	target := consensusTarget(cfg.N, cfg.Z)
+	trap := wrongTrap(cfg.N, cfg.Z)
+	roundCap := cfg.maxRounds()
+	ell := cfg.Rule.SampleSize()
+	n := int(cfg.N)
+
+	cur := initialOpinions(cfg, g)
+	next := make([]uint8, n)
+	x := cfg.X0
+
+	res := Result{FinalCount: x}
+	if x == target && absorbing {
+		res.Converged = true
+		return res, nil
+	}
+
+	scratch := make([]int, 0, ell) // distinct-sample workspace
+	for t := int64(1); t <= roundCap; t++ {
+		next[0] = uint8(cfg.Z)
+		var count int64 = int64(next[0])
+		for i := 1; i < n; i++ {
+			k := 0
+			if opts.WithoutReplacement && ell <= n {
+				scratch = distinctSamples(scratch[:0], n, ell, g)
+				for _, j := range scratch {
+					k += int(cur[j])
+				}
+			} else {
+				for s := 0; s < ell; s++ {
+					k += int(cur[g.Intn(n)])
+				}
+			}
+			if g.Bernoulli(cfg.Rule.G(int(cur[i]), k)) {
+				next[i] = 1
+				count++
+			} else {
+				next[i] = 0
+			}
+		}
+		cur, next = next, cur
+		x = count
+		res.Rounds = t
+		res.Activations += cfg.N - 1
+		res.FinalCount = x
+		if x == trap {
+			res.HitWrongConsensus = true
+		}
+		if cfg.Record != nil {
+			cfg.Record(t, x)
+		}
+		if x == target && absorbing {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// initialOpinions lays out a configuration with X0 ones: the source (index
+// 0) holds z and the remaining ones are assigned to a uniformly random set
+// of non-source agents. Which agents start with which opinion is
+// irrelevant to the count process (agents are anonymous), but randomizing
+// keeps the agent engine honest for per-agent extensions.
+func initialOpinions(cfg Config, g *rng.RNG) []uint8 {
+	n := int(cfg.N)
+	ops := make([]uint8, n)
+	ops[0] = uint8(cfg.Z)
+	onesToPlace := int(cfg.X0) - cfg.Z
+	// Floyd-style sampling of onesToPlace distinct non-source indices.
+	perm := g.Perm(n - 1)
+	for i := 0; i < onesToPlace; i++ {
+		ops[perm[i]+1] = 1
+	}
+	return ops
+}
+
+// distinctSamples appends ell distinct uniform indices from [0, n) to dst.
+// It uses rejection, which is fast while ell ≪ n (the only regime the
+// without-replacement ablation targets).
+func distinctSamples(dst []int, n, ell int, g *rng.RNG) []int {
+	for len(dst) < ell {
+		v := g.Intn(n)
+		dup := false
+		for _, u := range dst {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}

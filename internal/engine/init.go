@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"bitspread/internal/bias"
+	"bitspread/internal/protocol"
+)
+
+// WorstCaseInit returns the all-wrong initial count for correct opinion z:
+// every non-source agent holds 1-z, so only the source is right. This is
+// the canonical adversarial start for upper-bound experiments (Theorem 2).
+func WorstCaseInit(n int64, z int) int64 {
+	if z == 1 {
+		return 1 // only the source holds 1
+	}
+	return n - 1
+}
+
+// BalancedInit returns the count closest to n/2 that is feasible for z.
+func BalancedInit(n int64, z int) int64 {
+	x := n / 2
+	lo, hi := int64(z), n-1+int64(z)
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AdversarialConfig builds the slow-convergence instance that the proof of
+// Theorem 12 constructs for the given rule: it analyses the rule's bias
+// polynomial, picks the adversarial correct opinion z and starting
+// fraction X₀/n prescribed by the applicable proof case (Lemma 11,
+// Figure 2 or Figure 3), and returns the ready-to-run Config together with
+// the derived constants.
+func AdversarialConfig(r *protocol.Rule, n int64, maxRounds int64) (Config, bias.Constants) {
+	a := bias.For(r)
+	c, _ := a.ProofConstants()
+	x0 := int64(c.X0Frac * float64(n))
+	lo, hi := int64(c.Z), n-1+int64(c.Z)
+	if x0 < lo {
+		x0 = lo
+	}
+	if x0 > hi {
+		x0 = hi
+	}
+	return Config{
+		N:         n,
+		Rule:      r,
+		Z:         c.Z,
+		X0:        x0,
+		MaxRounds: maxRounds,
+	}, c
+}

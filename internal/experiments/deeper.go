@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/markov"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+	"bitspread/internal/stats"
+	"bitspread/internal/table"
+)
+
+// x6ExponentialTrap sharpens Theorem 1 for the Minority dynamics with
+// exact computations: the paper proves every constant-ℓ protocol needs
+// n^{1-ε} rounds, but for drift-trapped rules the truth is far stronger —
+// the exact expected convergence time grows exponentially in n, because
+// escaping the interior attractor requires a large-deviation excursion
+// against the bias. The experiment computes E[τ] exactly (dense linear
+// solve, no Monte Carlo) and fits log E[τ] against n.
+func x6ExponentialTrap() Experiment {
+	return Experiment{
+		ID:    "X6",
+		Title: "Beyond Theorem 1: the Minority trap is exponential (exact)",
+		Claim: "exact E[τ] from the adversarial start grows exponentially in n (log E[τ] ≈ c·n), far above the n^{1-ε} bound",
+		Run: func(opts Options) (*Result, error) {
+			// E[τ] ~ e^{0.6n}: beyond n ≈ 56 the value exceeds what a float64
+			// linear solve can resolve (the system's conditioning tracks E[τ]),
+			// so the sweep stays below that; the guard below catches any
+			// numerical breakdown loudly instead of fitting garbage.
+			ns := pick(opts, []int64{16, 24, 32, 40}, []int64{16, 24, 32, 40, 48, 56})
+			tb := table.New("X6 — exact expected convergence time of Minority(ℓ=3), z=1, from X₀=3n/4",
+				"n", "E[τ] rounds", "log E[τ]", "E[τ]/n^0.9")
+			var xs, logTaus []float64
+			minRatio := math.Inf(1)
+			for _, n := range ns {
+				chain, err := markov.ParallelChain(protocol.Minority(3), n, 1)
+				if err != nil {
+					return nil, err
+				}
+				h, err := chain.ExpectedHittingTimes(map[int]bool{int(n): true})
+				if err != nil {
+					return nil, err
+				}
+				x0 := 3 * n / 4
+				tau := h[x0]
+				if math.IsNaN(tau) || math.IsInf(tau, 0) || tau <= 0 {
+					return nil, fmt.Errorf("experiments: X6 exact solve unstable at n=%d (E[τ]=%v); keep n ≤ 56", n, tau)
+				}
+				ratio := tau / math.Pow(float64(n), 0.9)
+				minRatio = math.Min(minRatio, ratio)
+				tb.AddRowf(n, tau, math.Log(tau), ratio)
+				xs = append(xs, float64(n))
+				logTaus = append(logTaus, math.Log(tau))
+			}
+			fit, err := stats.FitLinear(xs, logTaus)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddNote("linear fit log E[τ] ≈ %.4f·n %+.2f (R²=%.3f): exponential growth rate per agent", fit.Slope, fit.Intercept, fit.R2)
+			tb.AddNote("dense-chain linear solves — no Monte-Carlo error in this table")
+			return &Result{
+				Table: tb,
+				Metrics: map[string]float64{
+					"exp_rate_per_agent": fit.Slope,
+					"fit_r2":             fit.R2,
+					"min_tau_over_n09":   minRatio,
+				},
+				Verdict: fmt.Sprintf(
+					"log E[τ] grows at %.4f per agent (R²=%.3f) — exponential, consistent with (and far beyond) the Ω(n^{1-ε}) bound; min E[τ]/n^0.9 = %.3g",
+					fit.Slope, fit.R2, minRatio),
+			}, nil
+		},
+	}
+}
+
+// x7ConflictingSources reproduces the related-work boundary (§1.3): with
+// stubborn sources on both sides (the majority-bit-dissemination setting)
+// no configuration is absorbing, so no memory-less passive protocol can
+// stabilize — and for the Voter the process instead mixes around the
+// classical zealot stationary mean s1/(s1+s0).
+func x7ConflictingSources() Experiment {
+	return Experiment{
+		ID:    "X7",
+		Title: "§1.3: conflicting sources — stabilization is impossible, the zealot mean emerges",
+		Claim: "consensus is visited 0 times; the Voter's time-average fraction tracks s1/(s1+s0)",
+		Run: func(opts Options) (*Result, error) {
+			n := pick(opts, int64(512), int64(8192))
+			rounds := pick(opts, int64(40_000), int64(400_000))
+			tb := table.New(fmt.Sprintf("X7 — Voter with opposed stubborn sources (n=%d, %d rounds)", n, rounds),
+				"s1", "s0", "predicted mean", "measured mean", "consensus visits")
+			worstErr := 0.0
+			var visits int64
+			cases := []struct{ s1, s0 int64 }{
+				{1, 1}, {3, 1}, {1, 3}, {8, 2}, {5, 5},
+			}
+			for i, c := range cases {
+				res, err := engine.RunConflict(engine.ConflictConfig{
+					N:        n,
+					Rule:     protocol.Voter(1),
+					Sources1: c.s1,
+					Sources0: c.s0,
+					X0:       n / 2,
+					Rounds:   rounds,
+				}, rng.New(subSeed(opts, uint64(i)+300)))
+				if err != nil {
+					return nil, err
+				}
+				want := float64(c.s1) / float64(c.s1+c.s0)
+				errAbs := math.Abs(res.MeanFraction - want)
+				worstErr = math.Max(worstErr, errAbs)
+				visits += res.ConsensusVisits
+				tb.AddRowf(c.s1, c.s0, want, res.MeanFraction, res.ConsensusVisits)
+			}
+			tb.AddNote("prediction: the drift fixed point s1+(x/n)(n-s1-s0) = x, i.e. x*/n = s1/(s1+s0) (zealot voter model)")
+			return &Result{
+				Table: tb,
+				Metrics: map[string]float64{
+					"worst_mean_error": worstErr,
+					"consensus_visits": float64(visits),
+				},
+				Verdict: fmt.Sprintf(
+					"consensus visited %d times across all cases ([7]: impossible with passive communication); worst |measured-predicted| mean = %.4f",
+					visits, worstErr),
+			}, nil
+		},
+	}
+}

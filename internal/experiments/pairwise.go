@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bitspread/internal/popproto"
+	"bitspread/internal/rng"
+	"bitspread/internal/stats"
+	"bitspread/internal/table"
+)
+
+// x11PopulationProtocols reproduces the [22] contrast drawn in §1.3: in
+// the population-protocol model — active pairwise communication, where an
+// interaction reads the partner's full state — bit dissemination is
+// solvable with O(1) memory, unlike in the paper's passive memory-less
+// setting. Three rows per n:
+//
+//   - Epidemic: the broadcast primitive completes in Θ(n log n)
+//     interactions (Θ(log n) parallel time);
+//   - PairwiseVoter + source: the sequential Voter in pairwise clothing,
+//     Θ(n²) interactions (the passive baseline);
+//   - FourStateMajority + pinned strong source, from an 80% wrong
+//     majority: the source grinds down strong opposers (it annihilates
+//     without being consumed) and wins — O(1) states suffice with active
+//     communication.
+func x11PopulationProtocols() Experiment {
+	return Experiment{
+		ID:    "X11",
+		Title: "[22] contrast: population protocols solve BD with O(1) memory",
+		Claim: "epidemic ~ n log n interactions; 4-state majority with a pinned source beats an 80% wrong majority; pairwise Voter matches the sequential Θ(n²)",
+		Run: func(opts Options) (*Result, error) {
+			ns := pick(opts, []int{128, 256, 512}, []int{256, 1024, 4096})
+			replicas := pick(opts, 8, 25)
+			tb := table.New("X11 — pairwise (active) protocols, interactions to success",
+				"protocol", "n", "P(success)", "mean interactions", "/ n·ln n")
+			type rowSpec struct {
+				name  string
+				run   func(n int, g *rng.RNG) (bool, int64, error)
+				track *[]float64 // per-n normalized means for metrics
+			}
+			var epiNorm, majNorm, voterNorm []float64
+			rows := []rowSpec{
+				{"Epidemic (broadcast)", func(n int, g *rng.RNG) (bool, int64, error) {
+					res, err := popproto.Run(popproto.Config{
+						N:        n,
+						Protocol: popproto.Epidemic{},
+						Init: func(i int) popproto.State {
+							if i == 0 {
+								return 1
+							}
+							return 0
+						},
+						SourceState: -1,
+						Stop:        func(out [2]int) bool { return out[1] == n },
+					}, g)
+					return res.Stopped, res.Interactions, err
+				}, &epiNorm},
+				{"4-state majority + source (80% wrong)", func(n int, g *rng.RNG) (bool, int64, error) {
+					res, err := popproto.Run(popproto.Config{
+						N:        n,
+						Protocol: popproto.FourStateMajority{},
+						Init: func(i int) popproto.State {
+							if i < n/5 {
+								return popproto.StrongOne
+							}
+							return popproto.StrongZero
+						},
+						SourceState:     int(popproto.StrongOne),
+						MaxInteractions: int64(n) * int64(n) * 64,
+						Stop:            func(out [2]int) bool { return out[1] == n },
+					}, g)
+					return res.Stopped, res.Interactions, err
+				}, &majNorm},
+				{"Pairwise Voter + source (all wrong)", func(n int, g *rng.RNG) (bool, int64, error) {
+					res, err := popproto.Run(popproto.Config{
+						N:           n,
+						Protocol:    popproto.PairwiseVoter{},
+						Init:        func(int) popproto.State { return 0 },
+						SourceState: 1,
+						Stop:        func(out [2]int) bool { return out[1] == n },
+					}, g)
+					return res.Stopped, res.Interactions, err
+				}, &voterNorm},
+			}
+
+			minRate := 1.0
+			for _, row := range rows {
+				for _, n := range ns {
+					master := rng.New(subSeed(opts, uint64(n)+hash(row.name)))
+					var times []float64
+					ok := 0
+					for rep := 0; rep < replicas; rep++ {
+						success, inter, err := row.run(n, master.Split())
+						if err != nil {
+							return nil, err
+						}
+						if success {
+							ok++
+							times = append(times, float64(inter))
+						}
+					}
+					rate := float64(ok) / float64(replicas)
+					minRate = math.Min(minRate, rate)
+					mean := stats.Summarize(times).Mean
+					norm := mean / (float64(n) * math.Log(float64(n)))
+					*row.track = append(*row.track, norm)
+					tb.AddRowf(row.name, n, rate, mean, norm)
+				}
+			}
+			epiMax := maxOf(epiNorm)
+			// Voter and majority scale ~n²: their n·ln n-normalized column
+			// must grow; fit interactions ~ n^e for the voter.
+			var xs []float64
+			for _, n := range ns {
+				xs = append(xs, float64(n))
+			}
+			voterFit, err := stats.FitPower(xs, denorm(voterNorm, ns))
+			if err != nil {
+				return nil, err
+			}
+			tb.AddNote("epidemic stays O(n ln n) (col ≤ %.2f); pairwise Voter interactions ~ n^%.2f (sequential Θ(n²))", epiMax, voterFit.Exponent)
+			tb.AddNote("the same O(1)-memory agents are impossible in the passive model (Theorem 1): activeness is the difference")
+			return &Result{
+				Table: tb,
+				Metrics: map[string]float64{
+					"min_success_rate":   minRate,
+					"epidemic_per_nlogn": epiMax,
+					"voter_int_exponent": voterFit.Exponent,
+				},
+				Verdict: fmt.Sprintf(
+					"all protocols succeeded (min rate %.2f); epidemic ≤ %.2f·n·ln n interactions; pairwise Voter ~ n^%.2f; the 4-state-majority-with-source row solves BD with 2 bits of memory — active communication sidesteps the lower bound",
+					minRate, epiMax, voterFit.Exponent),
+			}, nil
+		},
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// denorm converts n·ln n-normalized means back to raw interaction counts.
+func denorm(norm []float64, ns []int) []float64 {
+	out := make([]float64, len(norm))
+	for i, v := range norm {
+		n := float64(ns[i])
+		out[i] = v * n * math.Log(n)
+	}
+	return out
+}

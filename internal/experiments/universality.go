@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bitspread/internal/bias"
+	"bitspread/internal/engine"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+	"bitspread/internal/table"
+)
+
+// x10Universality probes Theorem 1's universal quantifier empirically:
+// the theorem holds for *every* memory-less constant-ℓ protocol, so a
+// scan over uniformly random valid rules must find none that converges
+// within the n^{1-ε} budget from its own adversarial instance (which the
+// bias analysis derives per rule, exactly as the Theorem 12 proof does).
+//
+// One honest caveat: the theorem is asymptotic. At a fixed n, a sampled
+// rule can sit arbitrarily close to a degenerate root structure — a
+// blocking interval of width O(1/√n), or drift of diffusive magnitude
+// O(1/√n) — for which the slowness only materializes at larger n (for
+// such rules even the proof's constants collapse onto the consensus).
+// The scan therefore classifies each rule as *resolvable at this n* (its
+// blocking interval and drift clear explicit √n-scale thresholds) or
+// *deferred*; the zero-convergence assertion applies to the resolvable
+// set, and the deferred count is reported, never hidden.
+func x10Universality() Experiment {
+	return Experiment{
+		ID:    "X10",
+		Title: "Universality scan: Theorem 1 over random protocols",
+		Claim: "no resolvable sampled rule converges within n^0.9 from its bias-derived adversarial instance; rule space splits across the proof cases",
+		Run: func(opts Options) (*Result, error) {
+			n := pick(opts, int64(2048), int64(16384))
+			ruleCount := pick(opts, 16, 80)
+			replicas := pick(opts, 4, 10)
+			ells := []int{2, 3, 5}
+			budget := polyCap(n, 0.9)
+			sqrtN := math.Sqrt(float64(n))
+
+			tb := table.New(fmt.Sprintf("X10 — random valid rules vs their adversarial instances (n=%d, budget=%d)", n, budget),
+				"ℓ", "rules", "case F<0 / F>0 / F≡0", "deferred", "conv. cells (resolvable)", "worst rule rate")
+			master := rng.New(subSeed(opts, 777))
+			totalCells, convCells, deferredTotal := 0, 0, 0
+			worstRate := 0.0
+			for _, ell := range ells {
+				neg, pos, zero := 0, 0, 0
+				deferred, ellConv, ellCells := 0, 0, 0
+				ellWorst := 0.0
+				for ri := 0; ri < ruleCount; ri++ {
+					r := protocol.Random(ell, master.Split())
+					a := bias.For(r)
+					switch a.Classify() {
+					case bias.CaseNegative:
+						neg++
+					case bias.CasePositive:
+						pos++
+					default:
+						zero++
+					}
+					if !resolvableAt(a, sqrtN) {
+						deferred++
+						continue
+					}
+					cfg, c := engine.AdversarialConfig(r, n, budget)
+					if a.Classify() == bias.CaseNegative {
+						// As in T1: the proof's X₀=(a₂+a₃)/2 sits within
+						// O((1-a₁)^{ℓ+1}·n) of the consensus, a nearly
+						// driftless sliver at finite n; start mid-interval
+						// where the trapping drift is representative.
+						cfg.X0 = int64((c.A1 + c.A3) / 2 * float64(n))
+					}
+					conv := 0
+					for rep := 0; rep < replicas; rep++ {
+						res, err := engine.RunParallel(cfg, master.Split())
+						if err != nil {
+							return nil, err
+						}
+						ellCells++
+						if res.Converged {
+							conv++
+							ellConv++
+						}
+					}
+					ellWorst = math.Max(ellWorst, float64(conv)/float64(replicas))
+				}
+				totalCells += ellCells
+				convCells += ellConv
+				deferredTotal += deferred
+				worstRate = math.Max(worstRate, ellWorst)
+				tb.AddRowf(ell, ruleCount,
+					fmt.Sprintf("%d / %d / %d", neg, pos, zero),
+					deferred,
+					fmt.Sprintf("%d/%d", ellConv, ellCells), ellWorst)
+			}
+			tb.AddNote("each rule's z, X₀ derived from its own F_n root structure (the Theorem 12 construction)")
+			tb.AddNote("deferred = blocking interval narrower than 10/√n or drift below 1/√n at this n; their slowness needs larger n")
+			convFrac := 0.0
+			if totalCells > 0 {
+				convFrac = float64(convCells) / float64(totalCells)
+			}
+			return &Result{
+				Table: tb,
+				Metrics: map[string]float64{
+					"converged_cell_frac": convFrac,
+					"worst_rule_rate":     worstRate,
+					"deferred_rules":      float64(deferredTotal),
+					"resolvable_cells":    float64(totalCells),
+				},
+				Verdict: fmt.Sprintf(
+					"%d of %d resolvable (rule, replica) cells converged within n^0.9 (%.3f; paper: 0 for every rule); %d rules deferred to larger n; worst single-rule rate %.2f",
+					convCells, totalCells, convFrac, deferredTotal, worstRate),
+			}, nil
+		},
+	}
+}
+
+// resolvableAt reports whether the rule's adversarial instance can
+// exhibit the asymptotic slowness at population scale √n: the blocking
+// interval next to p=1 must be wider than 10/√n, and the drift at its
+// midpoint must exceed the diffusive scale 1/√n.
+func resolvableAt(a *bias.Analysis, sqrtN float64) bool {
+	lo, hi, _, ok := a.IntervalNearOne()
+	if !ok {
+		return false // F ≡ 0: the driftless regime needs the scaling view
+	}
+	if (hi-lo)*sqrtN < 10 {
+		return false
+	}
+	mid := (lo + hi) / 2
+	return math.Abs(a.Drift(mid))*sqrtN >= 1
+}

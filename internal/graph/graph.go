@@ -1,0 +1,181 @@
+// Package graph restricts the sampling topology: instead of the paper's
+// uniform sampling over the whole population (a complete interaction
+// graph), agents sample uniform *neighbors*. The related opinion-dynamics
+// literature ([24]: the voter model on heterogeneous graphs) shows
+// convergence times depend heavily on the topology; experiment X9
+// measures that sensitivity for bit dissemination with a source.
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"bitspread/internal/rng"
+)
+
+// ErrDisconnected is returned when a generated graph is not connected
+// (the source could never reach some agents).
+var ErrDisconnected = errors.New("graph: not connected")
+
+// Topology is a sampling structure over agents 0..Size()-1. Agent 0 hosts
+// the source in the graph engine.
+type Topology interface {
+	// Name returns a display name.
+	Name() string
+	// Size returns the number of agents.
+	Size() int
+	// Degree returns the number of neighbors of agent i.
+	Degree(i int) int
+	// SampleNeighbor returns a uniformly random neighbor of agent i.
+	SampleNeighbor(i int, g *rng.RNG) int
+}
+
+// Complete is the paper's topology: every agent samples uniformly from
+// the entire population (including itself, matching Section 1.1's
+// with-replacement sampling over I).
+type Complete struct{ n int }
+
+// NewComplete returns the complete topology over n agents.
+func NewComplete(n int) (*Complete, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: complete topology needs n >= 2, got %d", n)
+	}
+	return &Complete{n: n}, nil
+}
+
+// Name implements Topology.
+func (c *Complete) Name() string { return fmt.Sprintf("complete(n=%d)", c.n) }
+
+// Size implements Topology.
+func (c *Complete) Size() int { return c.n }
+
+// Degree implements Topology; self-sampling counts, as in the paper.
+func (c *Complete) Degree(int) int { return c.n }
+
+// SampleNeighbor implements Topology.
+func (c *Complete) SampleNeighbor(_ int, g *rng.RNG) int { return g.Intn(c.n) }
+
+// adjacency is a dense neighbor-list topology shared by the concrete
+// generators below.
+type adjacency struct {
+	name string
+	adj  [][]int32
+}
+
+// Name implements Topology.
+func (a *adjacency) Name() string { return a.name }
+
+// Size implements Topology.
+func (a *adjacency) Size() int { return len(a.adj) }
+
+// Degree implements Topology.
+func (a *adjacency) Degree(i int) int { return len(a.adj[i]) }
+
+// SampleNeighbor implements Topology.
+func (a *adjacency) SampleNeighbor(i int, g *rng.RNG) int {
+	nbrs := a.adj[i]
+	return int(nbrs[g.Intn(len(nbrs))])
+}
+
+// NewRing returns the circulant graph where agent i is adjacent to
+// i±1..±k (mod n): the 1-dimensional lattice with 2k-regular degree.
+func NewRing(n, k int) (Topology, error) {
+	if n < 3 || k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("graph: invalid ring n=%d k=%d", n, k)
+	}
+	adj := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		nbrs := make([]int32, 0, 2*k)
+		for d := 1; d <= k; d++ {
+			nbrs = append(nbrs, int32((i+d)%n), int32((i-d+n)%n))
+		}
+		adj[i] = nbrs
+	}
+	return &adjacency{name: fmt.Sprintf("ring(n=%d,k=%d)", n, k), adj: adj}, nil
+}
+
+// NewTorus returns the rows×cols 2-dimensional torus (4-regular).
+func NewTorus(rows, cols int) (Topology, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs both sides >= 3, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	adj := make([][]int32, n)
+	idx := func(r, c int) int32 {
+		return int32(((r+rows)%rows)*cols + (c+cols)%cols)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			adj[idx(r, c)] = []int32{
+				idx(r-1, c), idx(r+1, c), idx(r, c-1), idx(r, c+1),
+			}
+		}
+	}
+	return &adjacency{name: fmt.Sprintf("torus(%dx%d)", rows, cols), adj: adj}, nil
+}
+
+// NewStar returns the star graph: agent 0 (the source's host) adjacent to
+// everyone, leaves adjacent only to the hub.
+func NewStar(n int) (Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: star needs n >= 2, got %d", n)
+	}
+	adj := make([][]int32, n)
+	hub := make([]int32, 0, n-1)
+	for i := 1; i < n; i++ {
+		hub = append(hub, int32(i))
+		adj[i] = []int32{0}
+	}
+	adj[0] = hub
+	return &adjacency{name: fmt.Sprintf("star(n=%d)", n), adj: adj}, nil
+}
+
+// NewErdosRenyi returns a G(n, p) sample, retrying (with derived
+// randomness) until the graph is connected, up to 32 attempts.
+func NewErdosRenyi(n int, p float64, g *rng.RNG) (Topology, error) {
+	if n < 2 || p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graph: invalid G(n,p) n=%d p=%v", n, p)
+	}
+	for attempt := 0; attempt < 32; attempt++ {
+		adj := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if g.Bernoulli(p) {
+					adj[i] = append(adj[i], int32(j))
+					adj[j] = append(adj[j], int32(i))
+				}
+			}
+		}
+		t := &adjacency{name: fmt.Sprintf("G(n=%d,p=%.3g)", n, p), adj: adj}
+		if isConnected(t) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after 32 G(%d, %v) attempts", ErrDisconnected, n, p)
+}
+
+// isConnected checks connectivity (and positive degrees) by BFS from 0.
+func isConnected(t *adjacency) bool {
+	n := t.Size()
+	for i := 0; i < n; i++ {
+		if len(t.adj[i]) == 0 {
+			return false
+		}
+	}
+	seen := make([]bool, n)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range t.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,144 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"bitspread/internal/dist"
+	"bitspread/internal/protocol"
+)
+
+// maxExactStates caps the population size for exact dense chains; beyond
+// it the O(n³) row construction and solves stop being laptop-friendly.
+const maxExactStates = 2048
+
+// ParallelChain builds the exact transition chain of the parallel-setting
+// bit-dissemination process for rule r, population n and correct opinion z.
+// State x ∈ {0..n} is the number of agents with opinion 1 (the source
+// included); infeasible states (x < z or x > n-1+z) are made absorbing so
+// the chain is well-formed everywhere.
+//
+// The row out of x is the exact distribution of
+// z + Binomial(m₁, P₁(x/n)) + Binomial(m₀, P₀(x/n)) computed by convolving
+// the two binomial pmfs. Construction is O(n³) overall and intended for
+// n ≤ a few hundred; it returns an error for n > 2048.
+func ParallelChain(r *protocol.Rule, n int64, z int) (*Chain, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("markov: population %d too small", n)
+	}
+	if n > maxExactStates {
+		return nil, fmt.Errorf("markov: population %d exceeds exact-chain cap %d", n, maxExactStates)
+	}
+	if z != 0 && z != 1 {
+		return nil, fmt.Errorf("markov: correct opinion %d must be 0 or 1", z)
+	}
+	size := int(n) + 1
+	lo, hi := z, int(n)-1+z
+	return New(size, func(x int) []float64 {
+		row := make([]float64, size)
+		if x < lo || x > hi {
+			row[x] = 1 // infeasible: absorb
+			return row
+		}
+		p := float64(x) / float64(n)
+		p1 := r.AdoptProb(1, p)
+		p0 := r.AdoptProb(0, p)
+		m1 := x - z
+		m0 := int(n) - x - (1 - z)
+		b1 := binomialVector(m1, p1)
+		b0 := binomialVector(m0, p0)
+		// row[z + j1 + j0] += b1[j1]·b0[j0].
+		for j1, q1 := range b1 {
+			if q1 == 0 {
+				continue
+			}
+			for j0, q0 := range b0 {
+				row[z+j1+j0] += q1 * q0
+			}
+		}
+		// The convolution of two recurrence-computed pmfs accumulates
+		// O(n·ε) round-off; renormalize so the row is exactly stochastic.
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 0 {
+			inv := 1 / sum
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		return row
+	})
+}
+
+// binomialVector returns the full pmf of Binomial(m, p) via a
+// multiplicative recurrence spreading outward from the mode, which keeps
+// the evaluation underflow-safe for any p (terms only shrink moving away
+// from the mode; far tails may flush to zero, which is harmless).
+func binomialVector(m int, p float64) []float64 {
+	v := make([]float64, m+1)
+	switch {
+	case p <= 0:
+		v[0] = 1
+		return v
+	case p >= 1:
+		v[m] = 1
+		return v
+	}
+	mode := int(float64(m+1) * p)
+	if mode > m {
+		mode = m
+	}
+	logPmf := dist.LogChoose(int64(m), int64(mode)) +
+		float64(mode)*math.Log(p) + float64(m-mode)*math.Log1p(-p)
+	v[mode] = math.Exp(logPmf)
+	ratio := p / (1 - p)
+	cur := v[mode]
+	for k := mode; k < m && cur > 0; k++ {
+		cur *= float64(m-k) / float64(k+1) * ratio
+		v[k+1] = cur
+	}
+	cur = v[mode]
+	for k := mode; k > 0 && cur > 0; k-- {
+		cur *= float64(k) / float64(m-k+1) / ratio
+		v[k-1] = cur
+	}
+	return v
+}
+
+// SequentialBirthDeath builds the exact birth–death chain of the
+// sequential setting: from count x, one uniformly random non-source agent
+// activates, so
+//
+//	up[x]   = (m₀/(n-1))·P₀(x/n),
+//	down[x] = (m₁/(n-1))·(1-P₁(x/n)).
+//
+// Infeasible states get zero rates. Unlike ParallelChain this is O(n) to
+// build and its hitting times have closed forms, so it scales to millions
+// of states.
+func SequentialBirthDeath(r *protocol.Rule, n int64, z int) (*BirthDeath, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("markov: population %d too small", n)
+	}
+	if z != 0 && z != 1 {
+		return nil, fmt.Errorf("markov: correct opinion %d must be 0 or 1", z)
+	}
+	size := int(n) + 1
+	up := make([]float64, size)
+	down := make([]float64, size)
+	lo, hi := z, int(n)-1+z
+	nonSource := float64(n - 1)
+	for x := lo; x <= hi; x++ {
+		p := float64(x) / float64(n)
+		m1 := float64(x - z)
+		m0 := float64(int(n) - x - (1 - z))
+		if x < size-1 {
+			up[x] = (m0 / nonSource) * r.AdoptProb(0, p)
+		}
+		if x > 0 {
+			down[x] = (m1 / nonSource) * (1 - r.AdoptProb(1, p))
+		}
+	}
+	return NewBirthDeath(up, down)
+}

@@ -1,0 +1,102 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"bitspread/internal/protocol"
+)
+
+func TestQuasiStationaryTwoState(t *testing.T) {
+	// Transient state 0 escapes to the absorbing state 1 with rate 0.25:
+	// the QSD is a point mass and the escape rate is exactly 0.25.
+	c, err := New(2, func(i int) []float64 {
+		if i == 0 {
+			return []float64{0.75, 0.25}
+		}
+		return []float64{0, 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, escape, err := c.QuasiStationary(map[int]bool{0: true}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(escape-0.25) > 1e-10 {
+		t.Errorf("escape rate = %v, want 0.25", escape)
+	}
+	if math.Abs(dist[0]-1) > 1e-10 || dist[1] != 0 {
+		t.Errorf("QSD = %v", dist)
+	}
+}
+
+func TestQuasiStationaryValidation(t *testing.T) {
+	c := simpleWalk(4)
+	if _, _, err := c.QuasiStationary(map[int]bool{}, 0, 0); err == nil {
+		t.Error("empty transient set accepted")
+	}
+	// A set that dumps all mass immediately.
+	c2, err := New(2, func(i int) []float64 {
+		if i == 0 {
+			return []float64{0, 1}
+		}
+		return []float64{0, 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.QuasiStationary(map[int]bool{0: true}, 0, 0); err == nil {
+		t.Error("fully-escaping set accepted")
+	}
+}
+
+// TestQuasiStationaryMatchesHittingTime cross-validates the two exact
+// numerical paths on the Minority trap (the X6 object): the expected
+// absorption time from the QSD equals 1/escape-rate, and must agree with
+// the hitting-time linear solve averaged over the QSD.
+func TestQuasiStationaryMatchesHittingTime(t *testing.T) {
+	const n = 32
+	chain, err := ParallelChain(protocol.Minority(3), n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transient := make(map[int]bool, n)
+	for x := 1; x < n; x++ {
+		transient[x] = true
+	}
+	dist, escape, err := chain.QuasiStationary(transient, 1e-14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escape <= 0 || escape >= 1 {
+		t.Fatalf("escape rate = %v", escape)
+	}
+	qsdTime := 1 / escape
+
+	h, err := chain.ExpectedHittingTimes(map[int]bool{n: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := 0.0
+	for x, m := range dist {
+		if m > 0 {
+			avg += m * h[x]
+		}
+	}
+	// From quasi-stationarity absorption is geometric: E[T] = 1/(1-λ).
+	if rel := math.Abs(qsdTime-avg) / avg; rel > 0.01 {
+		t.Errorf("QSD time 1/(1-λ) = %v vs hitting-time average %v (rel err %v)", qsdTime, avg, rel)
+	}
+	// The QSD concentrates near the interior attractor n/2, not near the
+	// consensus.
+	peak, peakMass := 0, 0.0
+	for x, m := range dist {
+		if m > peakMass {
+			peak, peakMass = x, m
+		}
+	}
+	if peak < n/4 || peak > 3*n/4 {
+		t.Errorf("QSD peak at %d, expected near the n/2 attractor", peak)
+	}
+}

@@ -1,0 +1,120 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"bitspread/internal/protocol"
+)
+
+// Stationary returns a stationary distribution of the chain by power
+// iteration from the uniform distribution, stopping when successive
+// iterates are within tol in total variation (or after maxIter steps).
+// For chains with several closed classes it returns the limit reached
+// from uniform, which mixes the classes' stationary laws; use
+// StationaryFrom to target one class (e.g. the feasible band of a
+// ConflictChain, whose out-of-band states are absorbing by construction).
+func (c *Chain) Stationary(tol float64, maxIter int) ([]float64, error) {
+	dist := make([]float64, c.Size())
+	for i := range dist {
+		dist[i] = 1 / float64(c.Size())
+	}
+	return c.stationaryFrom(dist, tol, maxIter)
+}
+
+// StationaryFrom runs the power iteration from a point mass at start.
+func (c *Chain) StationaryFrom(start int, tol float64, maxIter int) ([]float64, error) {
+	if start < 0 || start >= c.Size() {
+		return nil, fmt.Errorf("markov: start state %d outside [0,%d)", start, c.Size())
+	}
+	dist := make([]float64, c.Size())
+	dist[start] = 1
+	return c.stationaryFrom(dist, tol, maxIter)
+}
+
+func (c *Chain) stationaryFrom(dist []float64, tol float64, maxIter int) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100_000
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next := c.Step(dist)
+		if TotalVariation(dist, next) < tol {
+			return next, nil
+		}
+		dist = next
+	}
+	return nil, fmt.Errorf("markov: power iteration did not reach tv < %v in %d steps", tol, maxIter)
+}
+
+// TotalVariation returns the total-variation distance between two
+// distributions over the same state space: ½·Σ|a_i - b_i|. It panics on
+// length mismatch.
+func TotalVariation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("markov: TV distance of lengths %d and %d", len(a), len(b)))
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / 2
+}
+
+// Mean returns the expectation Σ i·dist[i] of a distribution over states.
+func Mean(dist []float64) float64 {
+	m := 0.0
+	for i, p := range dist {
+		m += float64(i) * p
+	}
+	return m
+}
+
+// ConflictChain builds the exact transition chain of the
+// conflicting-sources process (engine.RunConflict's chain): s1 agents
+// stubborn on 1, s0 stubborn on 0, everyone else running the rule. The
+// state is the one-count in [s1, n-s0]; states outside it absorb. With
+// both source counts positive the chain is irreducible on the feasible
+// band and has a unique stationary law — the object experiment X7
+// samples, computed here exactly for validation.
+func ConflictChain(r *protocol.Rule, n, s1, s0 int64) (*Chain, error) {
+	if n < 2 || s1 < 0 || s0 < 0 || s1+s0 >= n {
+		return nil, fmt.Errorf("markov: invalid conflict parameters n=%d s1=%d s0=%d", n, s1, s0)
+	}
+	if n > maxExactStates {
+		return nil, fmt.Errorf("markov: population %d exceeds exact-chain cap %d", n, maxExactStates)
+	}
+	size := int(n) + 1
+	lo, hi := int(s1), int(n-s0)
+	return New(size, func(x int) []float64 {
+		row := make([]float64, size)
+		if x < lo || x > hi {
+			row[x] = 1
+			return row
+		}
+		p := float64(x) / float64(n)
+		b1 := binomialVector(x-lo, r.AdoptProb(1, p))
+		b0 := binomialVector(hi-x, r.AdoptProb(0, p))
+		for j1, q1 := range b1 {
+			if q1 == 0 {
+				continue
+			}
+			for j0, q0 := range b0 {
+				row[lo+j1+j0] += q1 * q0
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 0 {
+			inv := 1 / sum
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		return row
+	})
+}

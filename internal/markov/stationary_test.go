@@ -1,0 +1,134 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"bitspread/internal/protocol"
+)
+
+func TestStationaryTwoState(t *testing.T) {
+	// p(0→1)=0.3, p(1→0)=0.2: stationary (0.4, 0.6).
+	c, err := New(2, func(i int) []float64 {
+		if i == 0 {
+			return []float64{0.7, 0.3}
+		}
+		return []float64{0.2, 0.8}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary(1e-13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.4) > 1e-9 || math.Abs(pi[1]-0.6) > 1e-9 {
+		t.Errorf("stationary = %v", pi)
+	}
+	// Stationarity: one more step is a fixed point.
+	next := c.Step(pi)
+	if TotalVariation(pi, next) > 1e-9 {
+		t.Error("returned distribution is not stationary")
+	}
+}
+
+func TestStationaryIterationBudget(t *testing.T) {
+	// An asymmetric nearly-frozen chain (stationary law (0.75, 0.25))
+	// cannot get from uniform to stationarity in 3 steps.
+	eps := 1e-9
+	c, err := New(2, func(i int) []float64 {
+		if i == 0 {
+			return []float64{1 - eps, eps}
+		}
+		return []float64{3 * eps, 1 - 3*eps}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stationary(1e-15, 3); err == nil {
+		t.Error("expected an iteration-budget error")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if got := TotalVariation([]float64{1, 0}, []float64{0, 1}); got != 1 {
+		t.Errorf("TV of disjoint = %v, want 1", got)
+	}
+	if got := TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("TV of equal = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	TotalVariation([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{0, 0.5, 0.5}); got != 1.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+// TestConflictChainZealotMean validates X7 exactly: the stationary mean
+// fraction of the Voter with (s1, s0) zealots is s1/(s1+s0).
+func TestConflictChainZealotMean(t *testing.T) {
+	cases := []struct{ s1, s0 int64 }{{1, 1}, {3, 1}, {2, 6}}
+	const n = 80
+	for _, c := range cases {
+		chain, err := ConflictChain(protocol.Voter(1), n, c.s1, c.s0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Start inside the feasible band: the out-of-band states are
+		// absorbing and would trap uniform-start mass.
+		pi, err := chain.StationaryFrom(n/2, 1e-12, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := Mean(pi) / n
+		want := float64(c.s1) / float64(c.s1+c.s0)
+		if math.Abs(mean-want) > 1e-6 {
+			t.Errorf("(s1=%d,s0=%d): stationary mean fraction = %v, want %v", c.s1, c.s0, mean, want)
+		}
+	}
+}
+
+func TestConflictChainRowsFeasible(t *testing.T) {
+	const n, s1, s0 = 40, 2, 3
+	chain, err := ConflictChain(protocol.Minority(3), n, s1, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := s1; x <= n-s0; x++ {
+		for y := 0; y <= n; y++ {
+			pr := chain.Prob(int(x), y)
+			if pr > 0 && (y < s1 || y > n-s0) {
+				t.Fatalf("feasible state %d leaks to infeasible %d with prob %v", x, y, pr)
+			}
+		}
+	}
+}
+
+func TestConflictChainValidation(t *testing.T) {
+	if _, err := ConflictChain(protocol.Voter(1), 10, 6, 5); err == nil {
+		t.Error("sources exceeding population accepted")
+	}
+	if _, err := ConflictChain(protocol.Voter(1), 100_000, 1, 1); err == nil {
+		t.Error("huge population accepted for the exact chain")
+	}
+	if _, err := ConflictChain(protocol.Voter(1), 10, -1, 1); err == nil {
+		t.Error("negative source count accepted")
+	}
+}
+
+func TestStationaryFromValidation(t *testing.T) {
+	c := simpleWalk(4)
+	if _, err := c.StationaryFrom(-1, 0, 0); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := c.StationaryFrom(99, 0, 0); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+}

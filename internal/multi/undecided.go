@@ -1,0 +1,62 @@
+package multi
+
+import "fmt"
+
+// UndecidedOpinion is the auxiliary third state of the undecided-state
+// dynamics: opinions 0 and 1 are the decided ones, 2 marks "undecided".
+const UndecidedOpinion = 2
+
+// Undecided returns the classical undecided-state dynamics (USD, see the
+// consensus survey [17] cited in §1) over one sample:
+//
+//   - a decided agent that samples the opposite decided opinion becomes
+//     undecided;
+//   - an undecided agent adopts the first decided opinion it samples;
+//   - all other encounters leave the agent unchanged.
+//
+// With ℓ > 1 the rule processes the sample as a whole: a decided agent
+// turns undecided iff it saw the opposite opinion at least once and its
+// own not at all; an undecided agent adopts the decided majority of its
+// sample (ties stay undecided).
+//
+// Note: the undecided state is *adopted without being seen*, so the rule
+// deliberately violates the footnote 2 support constraint (Validate
+// rejects it) — it is the paper's example of how auxiliary states smuggle
+// in extra communication. USD amplifies the initial decided majority, so
+// like Majority it fails bit dissemination from wrong-leaning starts.
+func Undecided(ell int) Rule {
+	return undecidedRule{ell: ell}
+}
+
+type undecidedRule struct{ ell int }
+
+func (r undecidedRule) Name() string    { return fmt.Sprintf("Undecided(ℓ=%d)", r.ell) }
+func (r undecidedRule) Opinions() int   { return 3 }
+func (r undecidedRule) SampleSize() int { return r.ell }
+
+func (r undecidedRule) AdoptDist(b int, counts []int) []float64 {
+	d := make([]float64, 3)
+	zeros, ones := counts[0], counts[1]
+	switch b {
+	case 0, 1:
+		own, other := zeros, ones
+		if b == 1 {
+			own, other = ones, zeros
+		}
+		if other > 0 && own == 0 {
+			d[UndecidedOpinion] = 1 // confronted without support: waver
+		} else {
+			d[b] = 1
+		}
+	default: // undecided
+		switch {
+		case zeros > ones:
+			d[0] = 1
+		case ones > zeros:
+			d[1] = 1
+		default:
+			d[UndecidedOpinion] = 1 // includes the all-undecided sample
+		}
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package multi
+
+import (
+	"errors"
+	"testing"
+
+	"bitspread/internal/rng"
+)
+
+func TestUndecidedTransitionTable(t *testing.T) {
+	r := Undecided(1)
+	tests := []struct {
+		name   string
+		b      int
+		counts []int // one-hot sample of size 1
+		want   int   // deterministic target opinion
+	}{
+		{"0 sees 0 keeps", 0, []int{1, 0, 0}, 0},
+		{"0 sees 1 wavers", 0, []int{0, 1, 0}, UndecidedOpinion},
+		{"0 sees undecided keeps", 0, []int{0, 0, 1}, 0},
+		{"1 sees 0 wavers", 1, []int{1, 0, 0}, UndecidedOpinion},
+		{"1 sees 1 keeps", 1, []int{0, 1, 0}, 1},
+		{"undecided sees 0 adopts", UndecidedOpinion, []int{1, 0, 0}, 0},
+		{"undecided sees 1 adopts", UndecidedOpinion, []int{0, 1, 0}, 1},
+		{"undecided sees undecided stays", UndecidedOpinion, []int{0, 0, 1}, UndecidedOpinion},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := r.AdoptDist(tt.b, tt.counts)
+			if d[tt.want] != 1 {
+				t.Errorf("AdoptDist(%d, %v) = %v, want point mass on %d", tt.b, tt.counts, d, tt.want)
+			}
+		})
+	}
+}
+
+func TestUndecidedMultiSample(t *testing.T) {
+	r := Undecided(3)
+	// Decided 0 seeing {1,1,2}: opposite present, own absent → waver.
+	if d := r.AdoptDist(0, []int{0, 2, 1}); d[UndecidedOpinion] != 1 {
+		t.Errorf("confronted agent: %v", d)
+	}
+	// Decided 0 seeing {0,1,1}: own present → keep.
+	if d := r.AdoptDist(0, []int{1, 2, 0}); d[0] != 1 {
+		t.Errorf("supported agent: %v", d)
+	}
+	// Undecided with a decided tie stays undecided.
+	if d := r.AdoptDist(UndecidedOpinion, []int{1, 1, 1}); d[UndecidedOpinion] != 1 {
+		t.Errorf("tied undecided: %v", d)
+	}
+}
+
+func TestUndecidedViolatesSupportConstraint(t *testing.T) {
+	// The undecided state is adopted without being sampled: footnote 2's
+	// constraint must reject it.
+	if err := Validate(Undecided(1)); !errors.Is(err, ErrSupport) {
+		t.Errorf("Validate = %v, want ErrSupport", err)
+	}
+}
+
+func TestUndecidedAmplifiesMajorityAgainstSource(t *testing.T) {
+	// From a wrong-leaning decided split, USD locks the initial majority
+	// and the source cannot recover it: bit dissemination fails.
+	const n = 600
+	res, err := RunParallel(Config{
+		N:         n,
+		Rule:      Undecided(1),
+		Z:         1,
+		X0:        []int64{400, 200, 0}, // 2:1 against the source
+		MaxRounds: 20_000,
+	}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("USD converged to the source's opinion from a wrong-leaning start")
+	}
+	// The wrong opinion should dominate at the end (the source alone
+	// survives on side 1 plus stragglers).
+	if res.Final[0] < int64(n)*8/10 {
+		t.Errorf("wrong opinion holds %d/%d, expected a near-lock", res.Final[0], n)
+	}
+}
+
+func TestUndecidedConvergesWithFavourableMajority(t *testing.T) {
+	const n = 600
+	res, err := RunParallel(Config{
+		N:         n,
+		Rule:      Undecided(1),
+		Z:         1,
+		X0:        []int64{200, 400, 0},
+		MaxRounds: 20_000,
+	}, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("USD failed from a favourable majority: %+v", res)
+	}
+	if res.Final[UndecidedOpinion] != 0 {
+		t.Errorf("undecided agents remain at consensus: %v", res.Final)
+	}
+}

@@ -1,0 +1,158 @@
+// Package popproto implements the population-protocol model that §1 of
+// the paper contrasts with: agents interact in *pairs* picked uniformly
+// at random, and — unlike the paper's passive sampling — an interaction
+// updates both parties through a joint transition function that can see
+// the full state of the partner (active communication). The package
+// provides the scheduler plus three classical protocols used as
+// reference points:
+//
+//   - Epidemic: one-way infection, the Θ(n log n)-interaction broadcast
+//     primitive behind [22]'s dissemination protocols;
+//   - PairwiseVoter: the initiator copies the responder's opinion —
+//     exactly the sequential Voter of [14], cross-validated against the
+//     birth–death engine in tests;
+//   - FourStateMajority: the classical exact-majority automaton with
+//     strong/weak states (±2, ±1), which decides the initial majority —
+//     and, having no notion of a source, fails bit dissemination the same
+//     way Majority dynamics does.
+package popproto
+
+import (
+	"errors"
+	"fmt"
+
+	"bitspread/internal/rng"
+)
+
+// State is an agent state; protocols define their own encoding.
+type State uint8
+
+// Protocol is a pairwise transition function over agent states.
+type Protocol interface {
+	// Name returns a display name.
+	Name() string
+	// States returns the number of states (all states are < States()).
+	States() int
+	// Interact returns the successor states of an ordered pair
+	// (initiator, responder).
+	Interact(initiator, responder State, g *rng.RNG) (State, State)
+	// Output maps a state to the agent's current binary output.
+	Output(s State) uint8
+}
+
+// ErrConfig is returned for invalid configurations.
+var ErrConfig = errors.New("popproto: invalid configuration")
+
+// Config describes a population-protocol run. Agent 0 is a source when
+// SourceState is non-negative: its state is pinned after every
+// interaction (the paper's source made pairwise).
+type Config struct {
+	// N is the population size.
+	N int
+	// Protocol is the pairwise transition function.
+	Protocol Protocol
+	// Init gives every agent's initial state.
+	Init func(i int) State
+	// SourceState pins agent 0 to this state when >= 0.
+	SourceState int
+	// MaxInteractions caps the run (0: 64·n·ln n·n... interpreted as
+	// 64·n²·log₂n, far above the Θ(n log n) epidemics need).
+	MaxInteractions int64
+	// Stop, if non-nil, is evaluated on the output histogram after every
+	// interaction and ends the run when true.
+	Stop func(outputs [2]int) bool
+}
+
+// Result reports a run.
+type Result struct {
+	// Interactions executed (≤ the cap).
+	Interactions int64
+	// Stopped is true when the Stop predicate fired.
+	Stopped bool
+	// Outputs is the final output histogram (count of 0s and 1s).
+	Outputs [2]int
+	// States is the final state histogram.
+	States []int
+}
+
+// Run simulates the sequential pairwise scheduler: each step picks an
+// ordered pair of distinct agents uniformly at random and applies the
+// protocol.
+func Run(cfg Config, g *rng.RNG) (Result, error) {
+	if cfg.N < 2 {
+		return Result{}, fmt.Errorf("%w: N=%d", ErrConfig, cfg.N)
+	}
+	if cfg.Protocol == nil || cfg.Init == nil {
+		return Result{}, fmt.Errorf("%w: protocol and init required", ErrConfig)
+	}
+	q := cfg.Protocol.States()
+	states := make([]State, cfg.N)
+	var outputs [2]int
+	for i := range states {
+		s := cfg.Init(i)
+		if int(s) >= q {
+			return Result{}, fmt.Errorf("%w: init state %d out of range", ErrConfig, s)
+		}
+		states[i] = s
+	}
+	if cfg.SourceState >= 0 {
+		if cfg.SourceState >= q {
+			return Result{}, fmt.Errorf("%w: source state %d out of range", ErrConfig, cfg.SourceState)
+		}
+		states[0] = State(cfg.SourceState)
+	}
+	for _, s := range states {
+		outputs[cfg.Protocol.Output(s)]++
+	}
+
+	maxI := cfg.MaxInteractions
+	if maxI <= 0 {
+		n := int64(cfg.N)
+		maxI = 64 * n * n
+	}
+
+	res := Result{Outputs: outputs}
+	if cfg.Stop != nil && cfg.Stop(outputs) {
+		res.Stopped = true
+		res.States = histogram(states, q)
+		return res, nil
+	}
+	for t := int64(1); t <= maxI; t++ {
+		i := g.Intn(cfg.N)
+		j := g.Intn(cfg.N - 1)
+		if j >= i {
+			j++
+		}
+		si, sj := states[i], states[j]
+		ni, nj := cfg.Protocol.Interact(si, sj, g)
+		if int(ni) >= q || int(nj) >= q {
+			return Result{}, fmt.Errorf("popproto: protocol %q produced out-of-range state", cfg.Protocol.Name())
+		}
+		states[i], states[j] = ni, nj
+		if cfg.SourceState >= 0 && (i == 0 || j == 0) {
+			states[0] = State(cfg.SourceState)
+		}
+		// Update the output histogram incrementally.
+		outputs[cfg.Protocol.Output(si)]--
+		outputs[cfg.Protocol.Output(sj)]--
+		outputs[cfg.Protocol.Output(states[i])]++
+		outputs[cfg.Protocol.Output(states[j])]++
+
+		res.Interactions = t
+		res.Outputs = outputs
+		if cfg.Stop != nil && cfg.Stop(outputs) {
+			res.Stopped = true
+			break
+		}
+	}
+	res.States = histogram(states, q)
+	return res, nil
+}
+
+func histogram(states []State, q int) []int {
+	h := make([]int, q)
+	for _, s := range states {
+		h[s]++
+	}
+	return h
+}

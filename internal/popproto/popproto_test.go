@@ -1,0 +1,222 @@
+package popproto
+
+import (
+	"math"
+	"testing"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+func allState(s State) func(int) State {
+	return func(int) State { return s }
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Config{
+		{N: 1, Protocol: Epidemic{}, Init: allState(0), SourceState: -1},
+		{N: 10, Init: allState(0), SourceState: -1},
+		{N: 10, Protocol: Epidemic{}, SourceState: -1},
+		{N: 10, Protocol: Epidemic{}, Init: allState(7), SourceState: -1},
+		{N: 10, Protocol: Epidemic{}, Init: allState(0), SourceState: 9},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg, rng.New(1)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEpidemicCompletesInNLogN(t *testing.T) {
+	for _, n := range []int{256, 1024} {
+		master := rng.New(uint64(n))
+		bound := int64(6 * float64(n) * math.Log(float64(n)))
+		for rep := 0; rep < 5; rep++ {
+			res, err := Run(Config{
+				N:        n,
+				Protocol: Epidemic{},
+				Init: func(i int) State {
+					if i == 0 {
+						return 1
+					}
+					return 0
+				},
+				SourceState:     -1,
+				MaxInteractions: bound,
+				Stop:            func(out [2]int) bool { return out[1] == n },
+			}, master.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Stopped {
+				t.Errorf("n=%d: epidemic incomplete after %d interactions (informed %d)", n, bound, res.Outputs[1])
+			}
+		}
+	}
+}
+
+func TestEpidemicMonotone(t *testing.T) {
+	res, err := Run(Config{
+		N:        64,
+		Protocol: Epidemic{},
+		Init: func(i int) State {
+			if i < 8 {
+				return 1
+			}
+			return 0
+		},
+		SourceState:     -1,
+		MaxInteractions: 50_000,
+		Stop:            func(out [2]int) bool { return out[1] == 64 },
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != 64 || res.Outputs[0] != 0 {
+		t.Errorf("final outputs = %v", res.Outputs)
+	}
+	if res.States[0] != 0 || res.States[1] != 64 {
+		t.Errorf("final states = %v", res.States)
+	}
+}
+
+// TestPairwiseVoterMatchesSequentialEngine cross-validates the pairwise
+// scheduler against the paper-model sequential engine: with a pinned
+// source, the pairwise Voter solves bit dissemination in the same
+// activation regime as engine.RunSequential.
+func TestPairwiseVoterMatchesSequentialEngine(t *testing.T) {
+	const n = 48
+	const reps = 60
+	master := rng.New(9)
+
+	meanPop := 0.0
+	for rep := 0; rep < reps; rep++ {
+		res, err := Run(Config{
+			N:           n,
+			Protocol:    PairwiseVoter{},
+			Init:        allState(0),
+			SourceState: 1, // source pinned to the correct opinion 1
+			Stop:        func(out [2]int) bool { return out[1] == n },
+		}, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stopped {
+			t.Fatal("pairwise voter did not reach consensus")
+		}
+		meanPop += float64(res.Interactions)
+	}
+	meanPop /= reps
+
+	meanSeq := 0.0
+	for rep := 0; rep < reps; rep++ {
+		res, err := engine.RunSequential(engine.Config{
+			N: n, Rule: protocol.Voter(1), Z: 1, X0: 1,
+		}, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanSeq += float64(res.Activations)
+	}
+	meanSeq /= reps
+
+	// Same process up to scheduler details (the pairwise initiator may be
+	// the source, a wasted interaction with rate 1/n; and the engine's
+	// activations exclude the source). Expect agreement within ~35%.
+	ratio := meanPop / meanSeq
+	if ratio < 0.65 || ratio > 1.55 {
+		t.Errorf("pairwise %.0f vs sequential-engine %.0f activations (ratio %.2f)", meanPop, meanSeq, ratio)
+	}
+}
+
+func TestFourStateMajorityDecidesInitialMajority(t *testing.T) {
+	const n = 200
+	master := rng.New(11)
+	correct := 0
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		res, err := Run(Config{
+			N:        n,
+			Protocol: FourStateMajority{},
+			Init: func(i int) State {
+				if i < 120 {
+					return StrongOne // 60% majority for opinion 1
+				}
+				return StrongZero
+			},
+			SourceState:     -1,
+			MaxInteractions: 2_000_000,
+			Stop:            func(out [2]int) bool { return out[0] == 0 || out[1] == 0 },
+		}, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stopped && res.Outputs[1] == n {
+			correct++
+		}
+	}
+	if correct < 9 {
+		t.Errorf("4-state majority decided the 60%% majority in only %d/%d runs", correct, reps)
+	}
+}
+
+func TestFourStateMajorityWithSourceSolvesBD(t *testing.T) {
+	// The [22] contrast made executable: with active pairwise
+	// communication and O(1) memory, a pinned strong source solves bit
+	// dissemination even against an 80% wrong majority — the source
+	// annihilates strong opposers one by one without ever being consumed,
+	// then converts the weakened population. The paper's lower bound is
+	// about the *passive, memory-less* setting; this protocol is in
+	// neither.
+	const n = 200
+	res, err := Run(Config{
+		N:        n,
+		Protocol: FourStateMajority{},
+		Init: func(i int) State {
+			if i < 40 {
+				return StrongOne // the source's side is a 20% minority
+			}
+			return StrongZero
+		},
+		SourceState:     int(StrongOne),
+		MaxInteractions: 5_000_000,
+		Stop:            func(out [2]int) bool { return out[1] == n },
+	}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Outputs[1] != n {
+		t.Errorf("pinned-source exact majority failed to disseminate: %+v", res)
+	}
+}
+
+func TestFourStateMajorityTransitions(t *testing.T) {
+	g := rng.New(1)
+	p := FourStateMajority{}
+	cases := []struct {
+		a, b, wantA, wantB State
+	}{
+		{StrongZero, StrongOne, WeakZero, WeakOne}, // annihilation
+		{StrongOne, StrongZero, WeakOne, WeakZero},
+		{WeakZero, StrongOne, WeakOne, StrongOne}, // conversion
+		{WeakOne, StrongZero, WeakZero, StrongZero},
+		{WeakZero, WeakOne, WeakZero, WeakOne}, // weak pair frozen
+		{StrongOne, StrongOne, StrongOne, StrongOne},
+	}
+	for _, c := range cases {
+		gotA, gotB := p.Interact(c.a, c.b, g)
+		if gotA != c.wantA || gotB != c.wantB {
+			t.Errorf("Interact(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, gotA, gotB, c.wantA, c.wantB)
+		}
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	if (FourStateMajority{}).Output(WeakZero) != 0 || (FourStateMajority{}).Output(StrongOne) != 1 {
+		t.Error("majority outputs wrong")
+	}
+	if (Epidemic{}).Output(1) != 1 || (PairwiseVoter{}).Output(0) != 0 {
+		t.Error("binary outputs wrong")
+	}
+}

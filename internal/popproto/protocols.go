@@ -1,0 +1,109 @@
+package popproto
+
+import "bitspread/internal/rng"
+
+// Epidemic is one-way infection: state 1 (informed) converts state 0.
+// From a single informed agent, all n agents are informed within
+// Θ(n log n) interactions w.h.p. — the broadcast primitive population
+// protocols get from active communication.
+type Epidemic struct{}
+
+// Name implements Protocol.
+func (Epidemic) Name() string { return "Epidemic" }
+
+// States implements Protocol.
+func (Epidemic) States() int { return 2 }
+
+// Output implements Protocol.
+func (Epidemic) Output(s State) uint8 { return uint8(s) }
+
+// Interact implements Protocol: the initiator learns from an informed
+// responder and vice versa (two-way infection makes the classic bound a
+// clean upper estimate).
+func (Epidemic) Interact(a, b State, _ *rng.RNG) (State, State) {
+	if a == 1 || b == 1 {
+		return 1, 1
+	}
+	return a, b
+}
+
+// PairwiseVoter copies the responder's opinion onto the initiator: one
+// activation of the paper's sequential Voter (ℓ = 1) per interaction.
+type PairwiseVoter struct{}
+
+// Name implements Protocol.
+func (PairwiseVoter) Name() string { return "PairwiseVoter" }
+
+// States implements Protocol.
+func (PairwiseVoter) States() int { return 2 }
+
+// Output implements Protocol.
+func (PairwiseVoter) Output(s State) uint8 { return uint8(s) }
+
+// Interact implements Protocol.
+func (PairwiseVoter) Interact(a, b State, _ *rng.RNG) (State, State) {
+	return b, b
+}
+
+// Four-state exact-majority states: strong and weak variants of each
+// opinion. Strong agents of opposite opinions annihilate into weak ones;
+// strong agents convert weak ones.
+const (
+	StrongZero State = 0
+	WeakZero   State = 1
+	WeakOne    State = 2
+	StrongOne  State = 3
+)
+
+// FourStateMajority is the classical exact-majority population protocol
+// (Bénézit–Thiran–Vetterli style): started from strong states only, the
+// population's outputs converge to the initial majority opinion.
+//
+// Pinning a source to a strong state changes the story entirely: the
+// source is an inexhaustible annihilator — every strong opposer it meets
+// is weakened while the source resets — so the wrong side's strong
+// agents are ground down one by one and the source's opinion then
+// converts everyone. Active pairwise communication plus O(1) memory
+// solves bit dissemination, exactly the [22] contrast the paper draws
+// with its passive, memory-less setting (tested in
+// TestFourStateMajorityWithSourceSolvesBD).
+type FourStateMajority struct{}
+
+// Name implements Protocol.
+func (FourStateMajority) Name() string { return "FourStateMajority" }
+
+// States implements Protocol.
+func (FourStateMajority) States() int { return 4 }
+
+// Output implements Protocol.
+func (FourStateMajority) Output(s State) uint8 {
+	if s >= WeakOne {
+		return 1
+	}
+	return 0
+}
+
+// Interact implements Protocol.
+func (FourStateMajority) Interact(a, b State, _ *rng.RNG) (State, State) {
+	na := majorityStep(a, b)
+	nb := majorityStep(b, a)
+	return na, nb
+}
+
+// majorityStep returns the successor of s after meeting t.
+func majorityStep(s, t State) State {
+	switch {
+	case s == StrongZero && t == StrongOne:
+		return WeakZero // annihilation: both lose strength
+	case s == StrongOne && t == StrongZero:
+		return WeakOne
+	case isWeak(s) && t == StrongZero:
+		return WeakZero // converted by a strong zero
+	case isWeak(s) && t == StrongOne:
+		return WeakOne
+	default:
+		return s
+	}
+}
+
+func isWeak(s State) bool { return s == WeakZero || s == WeakOne }

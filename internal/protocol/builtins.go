@@ -1,0 +1,166 @@
+package protocol
+
+import (
+	"fmt"
+
+	"bitspread/internal/rng"
+)
+
+// Voter returns the Voter dynamics (Protocol 1): adopt the opinion of one
+// uniformly random sample. For any sample size the rule is g(k) = k/ℓ,
+// since a uniformly random element of the sample is 1 with probability k/ℓ.
+func Voter(sampleSize int) *Rule {
+	g := make([]float64, sampleSize+1)
+	for k := range g {
+		g[k] = float64(k) / float64(sampleSize)
+	}
+	return MustNew("Voter", sampleSize, g, g)
+}
+
+// Minority returns the Minority dynamics (Protocol 2, Eq. 2): adopt the
+// unanimous opinion if the sample is unanimous, otherwise adopt the
+// minority opinion of the sample; an exact tie (k = ℓ/2) is broken
+// uniformly at random.
+func Minority(sampleSize int) *Rule {
+	g := make([]float64, sampleSize+1)
+	for k := range g {
+		g[k] = minorityG(k, sampleSize)
+	}
+	return MustNew("Minority", sampleSize, g, g)
+}
+
+// minorityG is g^minority(k) from Eq. 2.
+func minorityG(k, ell int) float64 {
+	switch {
+	case k == ell:
+		return 1
+	case k == 0:
+		return 0
+	case 2*k < ell:
+		return 1 // 0 < k < ℓ/2: opinion 1 is the minority, adopt it
+	case 2*k == ell:
+		return 0.5 // exact tie
+	default:
+		return 0 // ℓ/2 < k < ℓ: opinion 0 is the minority
+	}
+}
+
+// Majority returns the Majority dynamics: adopt the majority opinion of the
+// sample, ties broken uniformly at random. Majority satisfies Proposition 3
+// yet fails bit dissemination — both consensuses are strongly attracting,
+// so it cannot escape a wrong near-consensus (experiment X2).
+func Majority(sampleSize int) *Rule {
+	g := make([]float64, sampleSize+1)
+	for k := range g {
+		switch {
+		case 2*k > sampleSize:
+			g[k] = 1
+		case 2*k == sampleSize:
+			g[k] = 0.5
+		default:
+			g[k] = 0
+		}
+	}
+	return MustNew("Majority", sampleSize, g, g)
+}
+
+// ThreeMajority returns the classical 3-majority dynamics (Majority with
+// ℓ = 3), kept as a named constructor because it is a standard consensus
+// baseline in the literature ([16]).
+func ThreeMajority() *Rule {
+	r := Majority(3)
+	r2 := *r
+	r2.name = "3-Majority"
+	return &r2
+}
+
+// TwoChoice returns the 2-Choice dynamics: sample two opinions; if they
+// agree, adopt them, otherwise keep the current opinion. This is the
+// simplest opinion-aware (asymmetric) rule: g^[b](1) = b.
+func TwoChoice() *Rule {
+	return MustNew("2-Choice", 2,
+		[]float64{0, 0, 1}, // current opinion 0: adopt 1 only on a 1-1 sample
+		[]float64{0, 1, 1}, // current opinion 1: keep 1 unless seeing 0-0
+	)
+}
+
+// AntiVoter returns the anti-voter dynamics: adopt the opposite of one
+// random sample, g(k) = 1 - k/ℓ. It violates Proposition 3 on both ends
+// and is used as a lower-bound foil and validator test case.
+func AntiVoter(sampleSize int) *Rule {
+	g := make([]float64, sampleSize+1)
+	for k := range g {
+		g[k] = 1 - float64(k)/float64(sampleSize)
+	}
+	return MustNew("AntiVoter", sampleSize, g, g)
+}
+
+// BiasedVoter returns a Voter-like rule whose interior adoption
+// probabilities are tilted by delta toward opinion 1:
+// g(k) = clamp(k/ℓ + delta) for 0 < k < ℓ, with g(0)=0 and g(ℓ)=1 kept so
+// Proposition 3 still holds. Its bias polynomial F_n is strictly positive
+// on an interior interval, which makes it the canonical "Case 2" rule of
+// Theorem 12 (Figure 3). delta may be negative for a "Case 1" tilt.
+func BiasedVoter(sampleSize int, delta float64) *Rule {
+	g := make([]float64, sampleSize+1)
+	for k := 1; k < sampleSize; k++ {
+		v := float64(k)/float64(sampleSize) + delta
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		g[k] = v
+	}
+	g[0] = 0
+	g[sampleSize] = 1
+	return MustNew(fmt.Sprintf("BiasedVoter(δ=%+g)", delta), sampleSize, g, g)
+}
+
+// LazyVoter returns the lazy Voter: with probability 1-q behave as the
+// Voter, with probability q keep the current opinion. Its bias polynomial
+// is identically zero, like the Voter's, so it falls under Lemma 11.
+func LazyVoter(sampleSize int, q float64) *Rule {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("protocol: LazyVoter laziness %v outside [0,1]", q))
+	}
+	g0 := make([]float64, sampleSize+1)
+	g1 := make([]float64, sampleSize+1)
+	for k := range g0 {
+		voter := float64(k) / float64(sampleSize)
+		g0[k] = (1 - q) * voter // lazy keep of opinion 0
+		g1[k] = (1-q)*voter + q // lazy keep of opinion 1
+	}
+	return MustNew(fmt.Sprintf("LazyVoter(q=%g)", q), sampleSize, g0, g1)
+}
+
+// Follower returns the rule that adopts opinion 1 iff at least threshold of
+// the ℓ samples are 1 (a deterministic threshold rule). threshold must be
+// in [1, ℓ]; Majority with odd ℓ is Follower with threshold (ℓ+1)/2.
+func Follower(sampleSize, threshold int) *Rule {
+	if threshold < 1 || threshold > sampleSize {
+		panic(fmt.Sprintf("protocol: Follower threshold %d outside [1,%d]", threshold, sampleSize))
+	}
+	g := make([]float64, sampleSize+1)
+	for k := threshold; k <= sampleSize; k++ {
+		g[k] = 1
+	}
+	return MustNew(fmt.Sprintf("Follower(θ=%d)", threshold), sampleSize, g, g)
+}
+
+// Random returns a uniformly random valid rule with the given sample
+// size: every interior table entry (for both own-opinion tables) is drawn
+// uniformly from [0, 1], with g^[0](0) = 0 and g^[1](ℓ) = 1 pinned so
+// Proposition 3 holds. Sampling rule space is the empirical analogue of
+// Theorem 1's "for every protocol" quantifier (experiment X10).
+func Random(sampleSize int, g *rng.RNG) *Rule {
+	g0 := make([]float64, sampleSize+1)
+	g1 := make([]float64, sampleSize+1)
+	for k := 0; k <= sampleSize; k++ {
+		g0[k] = g.Float64()
+		g1[k] = g.Float64()
+	}
+	g0[0] = 0
+	g1[sampleSize] = 1
+	return MustNew("Random", sampleSize, g0, g1)
+}

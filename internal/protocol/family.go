@@ -1,0 +1,137 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampleSchedule maps the population size n to a sample size ℓ(n). The
+// paper's central parameter regimes are captured by the constructors below:
+// the lower bound (Theorem 1) concerns Fixed schedules, while the Minority
+// upper bound of [15] needs SqrtNLogN.
+type SampleSchedule struct {
+	name string
+	f    func(n int64) int
+}
+
+// Of returns ℓ(n), always at least 1.
+func (s SampleSchedule) Of(n int64) int {
+	ell := s.f(n)
+	if ell < 1 {
+		ell = 1
+	}
+	return ell
+}
+
+// Name returns the schedule's display name.
+func (s SampleSchedule) Name() string { return s.name }
+
+// Fixed returns the constant schedule ℓ(n) = ell — the regime of Theorem 1.
+func Fixed(ell int) SampleSchedule {
+	if ell < 1 {
+		panic(fmt.Sprintf("protocol: Fixed sample size %d < 1", ell))
+	}
+	return SampleSchedule{
+		name: fmt.Sprintf("ℓ=%d", ell),
+		f:    func(int64) int { return ell },
+	}
+}
+
+// SqrtNLogN returns ℓ(n) = ⌈c·√(n ln n)⌉ — the regime in which [15] proves
+// the Minority dynamics converges in O(log² n) parallel rounds.
+func SqrtNLogN(c float64) SampleSchedule {
+	name := "ℓ=⌈√(n ln n)⌉"
+	if c != 1 {
+		name = fmt.Sprintf("ℓ=⌈%g·√(n ln n)⌉", c)
+	}
+	return SampleSchedule{
+		name: name,
+		f: func(n int64) int {
+			if n < 2 {
+				return 1
+			}
+			return int(math.Ceil(c * math.Sqrt(float64(n)*math.Log(float64(n)))))
+		},
+	}
+}
+
+// LogN returns ℓ(n) = ⌈c·ln n⌉ — the boundary regime discussed in §1.2,
+// where one-round convergence from distant configurations becomes possible.
+func LogN(c float64) SampleSchedule {
+	name := "ℓ=⌈ln n⌉"
+	if c != 1 {
+		name = fmt.Sprintf("ℓ=⌈%g·ln n⌉", c)
+	}
+	return SampleSchedule{
+		name: name,
+		f: func(n int64) int {
+			if n < 2 {
+				return 1
+			}
+			return int(math.Ceil(c * math.Log(float64(n))))
+		},
+	}
+}
+
+// PowerN returns ℓ(n) = ⌈c·n^alpha⌉, for exploring the open-question
+// territory between constant and √(n log n) sample sizes (experiment X1).
+func PowerN(c, alpha float64) SampleSchedule {
+	return SampleSchedule{
+		name: fmt.Sprintf("ℓ=⌈%g·n^%g⌉", c, alpha),
+		f: func(n int64) int {
+			return int(math.Ceil(c * math.Pow(float64(n), alpha)))
+		},
+	}
+}
+
+// Family is a protocol family {g_n}: one rule per population size, which is
+// how the paper defines a protocol (the functions g_n^[b] may depend on n).
+type Family struct {
+	name string
+	rule func(n int64) *Rule
+}
+
+// NewFamily returns a family with the given per-n rule constructor.
+func NewFamily(name string, rule func(n int64) *Rule) *Family {
+	if rule == nil {
+		panic("protocol: NewFamily requires a rule constructor")
+	}
+	return &Family{name: name, rule: rule}
+}
+
+// ConstantFamily wraps a single n-independent rule as a family.
+func ConstantFamily(r *Rule) *Family {
+	return &Family{name: r.Name(), rule: func(int64) *Rule { return r }}
+}
+
+// VoterFamily is the Voter dynamics under the given sample-size schedule.
+// (The Voter's behaviour does not depend on ℓ; the schedule only matters
+// for apples-to-apples comparisons of sampling cost.)
+func VoterFamily(s SampleSchedule) *Family {
+	return &Family{
+		name: "Voter[" + s.Name() + "]",
+		rule: func(n int64) *Rule { return Voter(s.Of(n)) },
+	}
+}
+
+// MinorityFamily is the Minority dynamics under the given schedule.
+func MinorityFamily(s SampleSchedule) *Family {
+	return &Family{
+		name: "Minority[" + s.Name() + "]",
+		rule: func(n int64) *Rule { return Minority(s.Of(n)) },
+	}
+}
+
+// MajorityFamily is the Majority dynamics under the given schedule.
+func MajorityFamily(s SampleSchedule) *Family {
+	return &Family{
+		name: "Majority[" + s.Name() + "]",
+		rule: func(n int64) *Rule { return Majority(s.Of(n)) },
+	}
+}
+
+// Name returns the family's display name.
+func (f *Family) Name() string { return f.name }
+
+// For returns the rule this family prescribes for population size n.
+func (f *Family) For(n int64) *Rule { return f.rule(n) }

@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAdoptProb fuzzes Eq. 4 evaluation: for arbitrary valid tables and
+// any p, the result must be a probability, and at the endpoints it must
+// match the table exactly.
+func FuzzAdoptProb(f *testing.F) {
+	f.Add(0.3, 0.9, 0.1, 0.5, uint8(6))
+	f.Fuzz(func(t *testing.T, g1v, g2v, g3v, p float64, ellRaw uint8) {
+		ell := int(ellRaw)%12 + 1
+		for _, v := range []float64{g1v, g2v, g3v} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Skip()
+			}
+		}
+		if math.IsNaN(p) {
+			t.Skip()
+		}
+		tbl := make([]float64, ell+1)
+		vals := []float64{g1v, g2v, g3v}
+		for k := 1; k < ell; k++ {
+			tbl[k] = vals[k%3]
+		}
+		tbl[0], tbl[ell] = 0, 1
+		r := MustNew("fuzz", ell, tbl, tbl)
+
+		v := r.AdoptProb(0, p)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("AdoptProb = %v for p=%v, ℓ=%d", v, p, ell)
+		}
+		if got := r.AdoptProb(1, 0); got != 0 {
+			t.Fatalf("AdoptProb(·, 0) = %v, want g(0)=0", got)
+		}
+		if got := r.AdoptProb(1, 1); got != 1 {
+			t.Fatalf("AdoptProb(·, 1) = %v, want g(ℓ)=1", got)
+		}
+	})
+}
+
+// FuzzNewValidation fuzzes the constructor: it must never accept an
+// invalid table nor panic.
+func FuzzNewValidation(f *testing.F) {
+	f.Add(uint8(2), 0.5, 1.5)
+	f.Fuzz(func(t *testing.T, ellRaw uint8, a, b float64) {
+		ell := int(ellRaw) % 8
+		tbl := []float64{a, b}
+		for len(tbl) < ell+1 {
+			tbl = append(tbl, a)
+		}
+		r, err := New("fuzz", ell, tbl[:min(len(tbl), ell+1)], tbl[:min(len(tbl), ell+1)])
+		if err != nil {
+			return
+		}
+		// Accepted: every entry must be a valid probability.
+		for k := 0; k <= r.SampleSize(); k++ {
+			v := r.G(0, k)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("accepted invalid table entry %v", v)
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package protocol
+
+import "fmt"
+
+// WithNoise returns a rule that follows r but then flips the decided
+// opinion independently with probability flip. This is the classical
+// ε-noise failure injection: for flip > 0 the resulting rule violates
+// Proposition 3 (no configuration is absorbing), so it cannot solve the
+// bit-dissemination problem — which is exactly what the adversarial
+// experiments demonstrate.
+func WithNoise(r *Rule, flip float64) *Rule {
+	if flip < 0 || flip > 1 {
+		panic(fmt.Sprintf("protocol: noise level %v outside [0,1]", flip))
+	}
+	transform := func(tbl []float64) []float64 {
+		out := make([]float64, len(tbl))
+		for k, p := range tbl {
+			// Decided 1 and not flipped, or decided 0 and flipped.
+			out[k] = p*(1-flip) + (1-p)*flip
+		}
+		return out
+	}
+	return MustNew(
+		fmt.Sprintf("%s+noise(%g)", r.Name(), flip),
+		r.SampleSize(),
+		transform(r.g0),
+		transform(r.g1),
+	)
+}
+
+// WithLaziness returns a rule in which each activation is independently
+// "lost" with probability q: a lost activation keeps the current opinion
+// (g'^[b](k) = q·b + (1-q)·g^[b](k)). This models crash/omission rounds.
+// Unlike WithNoise it preserves Proposition 3, merely slowing the dynamics
+// by a factor 1/(1-q).
+func WithLaziness(r *Rule, q float64) *Rule {
+	if q < 0 || q >= 1 {
+		panic(fmt.Sprintf("protocol: laziness %v outside [0,1)", q))
+	}
+	g0 := make([]float64, r.SampleSize()+1)
+	g1 := make([]float64, r.SampleSize()+1)
+	for k := range g0 {
+		g0[k] = (1 - q) * r.g0[k]
+		g1[k] = (1-q)*r.g1[k] + q
+	}
+	return MustNew(
+		fmt.Sprintf("%s+lazy(%g)", r.Name(), q),
+		r.SampleSize(),
+		g0, g1,
+	)
+}
+
+// Mix returns the rule that follows a with probability w and b with
+// probability 1-w on each activation. Both rules must have the same sample
+// size. Mixtures let experiments interpolate between dynamics (e.g. a
+// Voter–Minority blend) when probing the root structure of F_n.
+func Mix(a, b *Rule, w float64) (*Rule, error) {
+	if a.SampleSize() != b.SampleSize() {
+		return nil, fmt.Errorf("protocol: cannot mix sample sizes %d and %d",
+			a.SampleSize(), b.SampleSize())
+	}
+	if w < 0 || w > 1 {
+		return nil, fmt.Errorf("protocol: mix weight %v outside [0,1]", w)
+	}
+	g0 := make([]float64, a.SampleSize()+1)
+	g1 := make([]float64, a.SampleSize()+1)
+	for k := range g0 {
+		g0[k] = w*a.g0[k] + (1-w)*b.g0[k]
+		g1[k] = w*a.g1[k] + (1-w)*b.g1[k]
+	}
+	return New(
+		fmt.Sprintf("Mix(%g·%s, %g·%s)", w, a.Name(), 1-w, b.Name()),
+		a.SampleSize(), g0, g1,
+	)
+}

@@ -1,0 +1,43 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBinomialRange fuzzes the sampler across parameter space: the draw
+// must always land in [0, n] and never hang.
+func FuzzBinomialRange(f *testing.F) {
+	f.Add(uint64(1), int64(10), 0.5)
+	f.Add(uint64(2), int64(0), 0.0)
+	f.Add(uint64(3), int64(1_000_000), 0.999)
+	f.Add(uint64(4), int64(12345), 1e-9)
+	f.Add(uint64(5), int64(1<<40), 0.3)
+	f.Fuzz(func(t *testing.T, seed uint64, n int64, p float64) {
+		if n < 0 || n > 1<<40 || math.IsNaN(p) {
+			t.Skip()
+		}
+		g := New(seed)
+		v := g.Binomial(n, p)
+		if v < 0 || v > n {
+			t.Fatalf("Binomial(%d, %v) = %d out of range", n, p, v)
+		}
+	})
+}
+
+// FuzzIntn fuzzes the bounded-uniform generator.
+func FuzzIntn(f *testing.F) {
+	f.Add(uint64(1), 10)
+	f.Add(uint64(9), 1)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n <= 0 || n > 1<<30 {
+			t.Skip()
+		}
+		g := New(seed)
+		for i := 0; i < 8; i++ {
+			if v := g.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: generators with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("generators with different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not mirror the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("parent and child streams coincide on %d of 100 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(7).Split()
+	c2 := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / draws
+	// Standard error is 1/sqrt(12*draws) ≈ 0.00065; allow 5 sigma.
+	if math.Abs(mean-0.5) > 0.0033 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	// Pearson chi-square with 9 dof; 99.9% critical value is 27.88.
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.88 {
+		t.Errorf("Intn uniformity chi-square = %.2f, exceeds 27.88 (p<0.001)", chi2)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(13)
+	const p, draws = 0.3, 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	freq := float64(hits) / draws
+	// 5 sigma of sqrt(p(1-p)/draws) ≈ 0.0073.
+	if math.Abs(freq-p) > 0.0073 {
+		t.Errorf("Bernoulli(%v) frequency = %v", p, freq)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(19)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	expected := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("Perm first element %d appeared %d times, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(23)
+	const draws = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.012 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.025 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestUint64QuickNoShortCycles(t *testing.T) {
+	// Property: for any seed, the first 64 outputs are pairwise distinct.
+	f := func(seed uint64) bool {
+		r := New(seed)
+		seen := make(map[uint64]bool, 64)
+		for i := 0; i < 64; i++ {
+			v := r.Uint64()
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnQuickInRange(t *testing.T) {
+	r := New(31)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

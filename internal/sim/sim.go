@@ -1,0 +1,171 @@
+// Package sim is the Monte-Carlo experiment runner: it fans a configured
+// bit-dissemination instance out over seeded replicas on a bounded worker
+// pool and aggregates convergence statistics. Replica seeds are derived
+// deterministically from the task seed before any goroutine starts, so
+// results are reproducible regardless of scheduling.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bitspread/internal/dist"
+	"bitspread/internal/engine"
+	"bitspread/internal/rng"
+	"bitspread/internal/stats"
+)
+
+// Mode selects the activation model / engine for a task.
+type Mode int
+
+const (
+	// Parallel uses the exact count-level parallel engine.
+	Parallel Mode = iota + 1
+	// Sequential uses the one-activation-at-a-time engine.
+	Sequential
+	// AgentLevel uses the literal per-agent parallel engine.
+	AgentLevel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Parallel:
+		return "parallel"
+	case Sequential:
+		return "sequential"
+	case AgentLevel:
+		return "agent-level"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Task is one Monte-Carlo experiment: a single instance configuration run
+// over Replicas independent seeds.
+type Task struct {
+	Name     string
+	Config   engine.Config
+	Mode     Mode
+	Replicas int
+	Seed     uint64
+}
+
+// Outcome aggregates the replica results of a task.
+type Outcome struct {
+	Task    Task
+	Results []engine.Result
+}
+
+// Run executes the task's replicas on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). The task's Config.Record must be nil:
+// recording hooks are not safe to share across replicas.
+func Run(t Task, workers int) (Outcome, error) {
+	if t.Replicas < 1 {
+		return Outcome{}, fmt.Errorf("sim: task %q has %d replicas", t.Name, t.Replicas)
+	}
+	if t.Config.Record != nil {
+		return Outcome{}, fmt.Errorf("sim: task %q sets Config.Record; per-replica recording is not supported", t.Name)
+	}
+	run, err := runner(t.Mode)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > t.Replicas {
+		workers = t.Replicas
+	}
+
+	// Derive per-replica seeds up front for scheduling-independent
+	// determinism.
+	master := rng.New(t.Seed)
+	seeds := make([]uint64, t.Replicas)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	results := make([]engine.Result, t.Replicas)
+	errs := make([]error, t.Replicas)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = run(t.Config, rng.New(seeds[i]))
+			}
+		}()
+	}
+	for i := 0; i < t.Replicas; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+		}
+	}
+	return Outcome{Task: t, Results: results}, nil
+}
+
+// runner maps a mode to its engine entry point.
+func runner(m Mode) (func(engine.Config, *rng.RNG) (engine.Result, error), error) {
+	switch m {
+	case Parallel:
+		return engine.RunParallel, nil
+	case Sequential:
+		return engine.RunSequential, nil
+	case AgentLevel:
+		return func(cfg engine.Config, g *rng.RNG) (engine.Result, error) {
+			return engine.RunAgents(cfg, engine.AgentOptions{}, g)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %d", int(m))
+	}
+}
+
+// ConvergedCount returns how many replicas converged.
+func (o *Outcome) ConvergedCount() int {
+	c := 0
+	for _, r := range o.Results {
+		if r.Converged {
+			c++
+		}
+	}
+	return c
+}
+
+// SuccessRate returns the convergence fraction with its Wilson 95%
+// confidence interval.
+func (o *Outcome) SuccessRate() (rate, lo, hi float64) {
+	n := int64(len(o.Results))
+	k := int64(o.ConvergedCount())
+	if n == 0 {
+		return 0, 0, 1
+	}
+	lo, hi = dist.WilsonInterval(k, n, 0.05)
+	return float64(k) / float64(n), lo, hi
+}
+
+// ConvergenceRounds returns the rounds-to-consensus of the converged
+// replicas.
+func (o *Outcome) ConvergenceRounds() []int64 {
+	out := make([]int64, 0, len(o.Results))
+	for _, r := range o.Results {
+		if r.Converged {
+			out = append(out, r.Rounds)
+		}
+	}
+	return out
+}
+
+// RoundsSummary summarizes the convergence rounds of converged replicas.
+func (o *Outcome) RoundsSummary() stats.Summary {
+	return stats.Summarize(stats.Float64s(o.ConvergenceRounds()))
+}

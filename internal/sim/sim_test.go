@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/protocol"
+)
+
+func voterTask(replicas int, seed uint64) Task {
+	return Task{
+		Name: "voter",
+		Config: engine.Config{
+			N:    48,
+			Rule: protocol.Voter(1),
+			Z:    1,
+			X0:   24,
+		},
+		Mode:     Parallel,
+		Replicas: replicas,
+		Seed:     seed,
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	out, err := Run(voterTask(40, 1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 40 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	if out.ConvergedCount() != 40 {
+		t.Errorf("converged = %d of 40", out.ConvergedCount())
+	}
+	rate, lo, hi := out.SuccessRate()
+	if rate != 1 || lo <= 0.8 || hi != 1 {
+		t.Errorf("success rate = %v [%v, %v]", rate, lo, hi)
+	}
+	rounds := out.ConvergenceRounds()
+	if len(rounds) != 40 {
+		t.Fatalf("rounds = %d entries", len(rounds))
+	}
+	s := out.RoundsSummary()
+	if s.N != 40 || s.Mean <= 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := Run(voterTask(20, 7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(voterTask(20, 7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Error("results depend on worker count")
+	}
+	c, err := Run(voterTask(20, 8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Results, c.Results) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	task := voterTask(0, 1)
+	if _, err := Run(task, 1); err == nil {
+		t.Error("0 replicas accepted")
+	}
+	task = voterTask(2, 1)
+	task.Mode = Mode(99)
+	if _, err := Run(task, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	task = voterTask(2, 1)
+	task.Config.Record = func(int64, int64) {}
+	if _, err := Run(task, 1); err == nil {
+		t.Error("shared Record hook accepted")
+	}
+	task = voterTask(2, 1)
+	task.Config.N = 0
+	if _, err := Run(task, 1); err == nil {
+		t.Error("invalid engine config accepted")
+	}
+}
+
+func TestRunSequentialAndAgentModes(t *testing.T) {
+	for _, mode := range []Mode{Sequential, AgentLevel} {
+		task := voterTask(5, 3)
+		task.Mode = mode
+		task.Config.N = 24
+		task.Config.X0 = 12
+		out, err := Run(task, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if out.ConvergedCount() != 5 {
+			t.Errorf("%v: converged %d of 5", mode, out.ConvergedCount())
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Parallel, Sequential, AgentLevel, Mode(42)} {
+		if m.String() == "" {
+			t.Errorf("empty name for mode %d", int(m))
+		}
+	}
+}
+
+func TestSuccessRatePartial(t *testing.T) {
+	// Majority from all-wrong never converges: success rate 0.
+	task := Task{
+		Name: "majority-trap",
+		Config: engine.Config{
+			N:         32,
+			Rule:      protocol.Majority(3),
+			Z:         1,
+			X0:        1,
+			MaxRounds: 50,
+		},
+		Mode:     Parallel,
+		Replicas: 10,
+		Seed:     5,
+	}
+	out, err := Run(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, _, hi := out.SuccessRate()
+	if rate != 0 {
+		t.Errorf("success rate = %v, want 0", rate)
+	}
+	if hi >= 0.5 {
+		t.Errorf("Wilson hi = %v, too loose", hi)
+	}
+	if len(out.ConvergenceRounds()) != 0 {
+		t.Error("non-converged runs leaked into ConvergenceRounds")
+	}
+}

@@ -1,0 +1,176 @@
+// Package sweep is the user-facing parameter-sweep framework: run a
+// protocol family over a grid of population sizes, aggregate convergence
+// statistics per cell, render the result as a table, and fit scaling
+// exponents per family — the workflow every experiment in this
+// repository follows, packaged for downstream studies.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/protocol"
+	"bitspread/internal/sim"
+	"bitspread/internal/stats"
+	"bitspread/internal/table"
+)
+
+// Init selects the initial configuration of every cell.
+type Init int
+
+const (
+	// WorstCase starts with every non-source agent wrong.
+	WorstCase Init = iota + 1
+	// Balanced starts from an even split.
+	Balanced
+	// Adversarial starts from the Theorem 12 instance derived from the
+	// rule's bias analysis (which also overrides Z per its proof case).
+	Adversarial
+)
+
+// String implements fmt.Stringer.
+func (i Init) String() string {
+	switch i {
+	case WorstCase:
+		return "worst-case"
+	case Balanced:
+		return "balanced"
+	case Adversarial:
+		return "adversarial"
+	default:
+		return fmt.Sprintf("Init(%d)", int(i))
+	}
+}
+
+// ErrGrid is returned for invalid grid specifications.
+var ErrGrid = errors.New("sweep: invalid grid")
+
+// Grid specifies a sweep: families × population sizes.
+type Grid struct {
+	// Name labels the output table.
+	Name string
+	// Ns are the population sizes.
+	Ns []int64
+	// Families are the protocol families to compare.
+	Families []*protocol.Family
+	// Z is the correct opinion (ignored by Adversarial init).
+	Z int
+	// Init selects the starting configuration.
+	Init Init
+	// Mode selects the activation model.
+	Mode sim.Mode
+	// Replicas per cell.
+	Replicas int
+	// MaxRounds optionally caps runs as a function of n (nil: engine
+	// default).
+	MaxRounds func(n int64) int64
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds simulation concurrency (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// Cell is one (family, n) measurement.
+type Cell struct {
+	Family string
+	N      int64
+	// Rate is the convergence fraction with its Wilson 95% interval.
+	Rate, RateLo, RateHi float64
+	// Rounds summarizes the convergence rounds of converged replicas.
+	Rounds stats.Summary
+}
+
+// Run executes the grid, one task per cell, deterministically seeded.
+func (g *Grid) Run() ([]Cell, error) {
+	switch {
+	case len(g.Ns) == 0 || len(g.Families) == 0:
+		return nil, fmt.Errorf("%w: need at least one n and one family", ErrGrid)
+	case g.Replicas < 1:
+		return nil, fmt.Errorf("%w: replicas %d", ErrGrid, g.Replicas)
+	case g.Init < WorstCase || g.Init > Adversarial:
+		return nil, fmt.Errorf("%w: init %d", ErrGrid, int(g.Init))
+	}
+	mode := g.Mode
+	if mode == 0 {
+		mode = sim.Parallel
+	}
+	cells := make([]Cell, 0, len(g.Families)*len(g.Ns))
+	taskSeed := g.Seed
+	for _, fam := range g.Families {
+		for _, n := range g.Ns {
+			taskSeed = taskSeed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+			cfg, err := g.cellConfig(fam, n)
+			if err != nil {
+				return nil, err
+			}
+			out, err := sim.Run(sim.Task{
+				Name:     fmt.Sprintf("%s/%s/n=%d", g.Name, fam.Name(), n),
+				Config:   cfg,
+				Mode:     mode,
+				Replicas: g.Replicas,
+				Seed:     taskSeed,
+			}, g.Workers)
+			if err != nil {
+				return nil, err
+			}
+			rate, lo, hi := out.SuccessRate()
+			cells = append(cells, Cell{
+				Family: fam.Name(),
+				N:      n,
+				Rate:   rate, RateLo: lo, RateHi: hi,
+				Rounds: out.RoundsSummary(),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// cellConfig builds the engine configuration for one cell.
+func (g *Grid) cellConfig(fam *protocol.Family, n int64) (engine.Config, error) {
+	rule := fam.For(n)
+	var maxRounds int64
+	if g.MaxRounds != nil {
+		maxRounds = g.MaxRounds(n)
+	}
+	switch g.Init {
+	case Adversarial:
+		cfg, _ := engine.AdversarialConfig(rule, n, maxRounds)
+		return cfg, nil
+	case Balanced:
+		return engine.Config{N: n, Rule: rule, Z: g.Z, X0: engine.BalancedInit(n, g.Z), MaxRounds: maxRounds}, nil
+	default:
+		return engine.Config{N: n, Rule: rule, Z: g.Z, X0: engine.WorstCaseInit(n, g.Z), MaxRounds: maxRounds}, nil
+	}
+}
+
+// Table renders cells as an aligned table.
+func Table(name string, cells []Cell) *table.Table {
+	tb := table.New(name, "family", "n", "P(converge) [95% CI]", "mean τ", "p99 τ")
+	for _, c := range cells {
+		tb.AddRowf(c.Family, c.N,
+			fmt.Sprintf("%.3f [%.3f,%.3f]", c.Rate, c.RateLo, c.RateHi),
+			c.Rounds.Mean, c.Rounds.P99)
+	}
+	return tb
+}
+
+// FitExponent fits mean τ ≈ c·n^e over the cells of one family (all
+// cells must have converged runs).
+func FitExponent(cells []Cell, family string) (stats.PowerFit, error) {
+	var xs, ys []float64
+	for _, c := range cells {
+		if c.Family != family {
+			continue
+		}
+		if c.Rounds.N == 0 {
+			return stats.PowerFit{}, fmt.Errorf("sweep: family %q has a cell with no converged runs at n=%d", family, c.N)
+		}
+		xs = append(xs, float64(c.N))
+		ys = append(ys, c.Rounds.Mean)
+	}
+	if len(xs) < 2 {
+		return stats.PowerFit{}, fmt.Errorf("sweep: family %q has %d cells, need >= 2", family, len(xs))
+	}
+	return stats.FitPower(xs, ys)
+}

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bitspread/internal/protocol"
+	"bitspread/internal/sim"
+)
+
+func voterGrid() *Grid {
+	return &Grid{
+		Name:     "test",
+		Ns:       []int64{32, 64, 128},
+		Families: []*protocol.Family{protocol.VoterFamily(protocol.Fixed(1))},
+		Z:        1,
+		Init:     WorstCase,
+		Replicas: 10,
+		Seed:     5,
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := []*Grid{
+		{Ns: nil, Families: []*protocol.Family{protocol.VoterFamily(protocol.Fixed(1))}, Replicas: 1, Init: WorstCase},
+		{Ns: []int64{10}, Families: nil, Replicas: 1, Init: WorstCase},
+		{Ns: []int64{10}, Families: []*protocol.Family{protocol.VoterFamily(protocol.Fixed(1))}, Replicas: 0, Init: WorstCase},
+		{Ns: []int64{10}, Families: []*protocol.Family{protocol.VoterFamily(protocol.Fixed(1))}, Replicas: 1, Init: Init(9)},
+	}
+	for i, g := range cases {
+		if _, err := g.Run(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGridRunAndTable(t *testing.T) {
+	cells, err := voterGrid().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Rate != 1 {
+			t.Errorf("n=%d: rate %v", c.N, c.Rate)
+		}
+		if c.Rounds.N != 10 || c.Rounds.Mean <= 0 {
+			t.Errorf("n=%d: summary %+v", c.N, c.Rounds)
+		}
+	}
+	out := Table("demo", cells).String()
+	if !strings.Contains(out, "Voter[ℓ=1]") || strings.Count(out, "\n") < 5 {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a, err := voterGrid().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := voterGrid().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	cells, err := voterGrid().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitExponent(cells, "Voter[ℓ=1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case Voter is Θ(n)-to-Θ(n log n): expect a near-1 exponent.
+	if fit.Exponent < 0.6 || fit.Exponent > 1.6 {
+		t.Errorf("voter exponent = %v", fit.Exponent)
+	}
+	if _, err := FitExponent(cells, "nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestGridAdversarialInit(t *testing.T) {
+	g := &Grid{
+		Name:     "adv",
+		Ns:       []int64{256},
+		Families: []*protocol.Family{protocol.MinorityFamily(protocol.Fixed(3))},
+		Init:     Adversarial,
+		Replicas: 5,
+		MaxRounds: func(n int64) int64 {
+			return int64(math.Pow(float64(n), 0.9))
+		},
+		Seed: 6,
+	}
+	cells, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Rate != 0 {
+		t.Errorf("adversarial Minority(3) converged with rate %v", cells[0].Rate)
+	}
+}
+
+func TestGridSequentialMode(t *testing.T) {
+	g := voterGrid()
+	g.Ns = []int64{24}
+	g.Mode = sim.Sequential
+	cells, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Rate != 1 {
+		t.Errorf("sequential sweep rate = %v", cells[0].Rate)
+	}
+}
+
+func TestInitString(t *testing.T) {
+	for _, i := range []Init{WorstCase, Balanced, Adversarial, Init(7)} {
+		if i.String() == "" {
+			t.Errorf("empty name for %d", int(i))
+		}
+	}
+}

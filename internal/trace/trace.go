@@ -1,0 +1,134 @@
+// Package trace records and renders one-count trajectories: downsampling
+// recorders that plug into the engines' Record hooks, and terminal
+// renderings (sparklines and signed bar charts) used by the examples and
+// the bitsim tool.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recorder collects a downsampled trajectory through an engine Record
+// hook. The zero value records nothing; construct with NewRecorder.
+type Recorder struct {
+	every  int64
+	n      int64
+	rounds []int64
+	counts []int64
+}
+
+// NewRecorder returns a recorder that keeps every every-th round of a run
+// over a population of n (used to normalize fractions). every < 1 is
+// treated as 1.
+func NewRecorder(n, every int64) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{every: every, n: n}
+}
+
+// ForBudget returns a recorder sized so a run of the given round budget
+// keeps about the requested number of points.
+func ForBudget(n, budget int64, points int) *Recorder {
+	if points < 1 {
+		points = 1
+	}
+	return NewRecorder(n, budget/int64(points))
+}
+
+// Hook is the engine-compatible record callback.
+func (r *Recorder) Hook(round, count int64) {
+	if round%r.every == 0 {
+		r.rounds = append(r.rounds, round)
+		r.counts = append(r.counts, count)
+	}
+}
+
+// Len returns the number of recorded points.
+func (r *Recorder) Len() int { return len(r.counts) }
+
+// Points returns copies of the recorded rounds and counts.
+func (r *Recorder) Points() (rounds, counts []int64) {
+	return append([]int64(nil), r.rounds...), append([]int64(nil), r.counts...)
+}
+
+// Fractions returns the recorded one-fractions count/n.
+func (r *Recorder) Fractions() []float64 {
+	out := make([]float64, len(r.counts))
+	for i, c := range r.counts {
+		out[i] = float64(c) / float64(r.n)
+	}
+	return out
+}
+
+// sparkGlyphs are the eight block glyphs used by Sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values in [0, 1] as a block-glyph strip. Values are
+// clamped.
+func Sparkline(values []float64) string {
+	var b strings.Builder
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		idx := int(v * float64(len(sparkGlyphs)))
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// Sparkline renders the recorder's fraction trajectory.
+func (r *Recorder) Sparkline() string { return Sparkline(r.Fractions()) }
+
+// Plot renders the trajectory as a rows-line chart with a labeled y-axis
+// of fractions, suitable for terminals. rows < 2 is clamped to 2.
+func (r *Recorder) Plot(rows int) string {
+	if rows < 2 {
+		rows = 2
+	}
+	fr := r.Fractions()
+	if len(fr) == 0 {
+		return "(no points recorded)\n"
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(fr)))
+	}
+	for x, v := range fr {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		// Row 0 is the top (fraction 1).
+		y := int((1 - v) * float64(rows-1))
+		grid[y][x] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		label := "      "
+		switch i {
+		case 0:
+			label = "1.00 |"
+		case rows / 2:
+			label = "0.50 |"
+		case rows - 1:
+			label = "0.00 |"
+		default:
+			label = "     |"
+		}
+		fmt.Fprintf(&b, "%s%s\n", label, row)
+	}
+	lastRound := int64(0)
+	if len(r.rounds) > 0 {
+		lastRound = r.rounds[len(r.rounds)-1]
+	}
+	fmt.Fprintf(&b, "     +%s\n      round 0 .. %d (every %d)\n",
+		strings.Repeat("-", len(fr)), lastRound, r.every)
+	return b.String()
+}

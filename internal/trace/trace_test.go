@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderDownsamples(t *testing.T) {
+	r := NewRecorder(100, 10)
+	for round := int64(1); round <= 95; round++ {
+		r.Hook(round, round)
+	}
+	if r.Len() != 9 {
+		t.Fatalf("recorded %d points, want 9 (rounds 10..90)", r.Len())
+	}
+	rounds, counts := r.Points()
+	if rounds[0] != 10 || counts[0] != 10 {
+		t.Errorf("first point = (%d, %d)", rounds[0], counts[0])
+	}
+	if rounds[8] != 90 {
+		t.Errorf("last round = %d", rounds[8])
+	}
+}
+
+func TestRecorderEveryClamped(t *testing.T) {
+	r := NewRecorder(10, 0)
+	r.Hook(1, 5)
+	if r.Len() != 1 {
+		t.Error("every=0 should record every round")
+	}
+}
+
+func TestForBudget(t *testing.T) {
+	r := ForBudget(100, 600, 60)
+	for round := int64(1); round <= 600; round++ {
+		r.Hook(round, 50)
+	}
+	if r.Len() != 60 {
+		t.Errorf("recorded %d points, want 60", r.Len())
+	}
+	if r2 := ForBudget(100, 5, 0); r2.every != 5 {
+		t.Errorf("points=0 handling: every = %d", r2.every)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	r := NewRecorder(200, 1)
+	r.Hook(1, 100)
+	r.Hook(2, 200)
+	fr := r.Fractions()
+	if len(fr) != 2 || fr[0] != 0.5 || fr[1] != 1 {
+		t.Errorf("fractions = %v", fr)
+	}
+}
+
+func TestPointsAreCopies(t *testing.T) {
+	r := NewRecorder(10, 1)
+	r.Hook(1, 5)
+	rounds, _ := r.Points()
+	rounds[0] = 999
+	if again, _ := r.Points(); again[0] != 1 {
+		t.Error("Points leaked internal state")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 0.5, 1, -1, 2})
+	want := "▁▅█▁█"
+	if got != want {
+		t.Errorf("Sparkline = %q, want %q", got, want)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+}
+
+func TestRecorderSparkline(t *testing.T) {
+	r := NewRecorder(8, 1)
+	r.Hook(1, 0)
+	r.Hook(2, 8)
+	if got := r.Sparkline(); got != "▁█" {
+		t.Errorf("Sparkline = %q", got)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	r := NewRecorder(10, 1)
+	r.Hook(1, 0)
+	r.Hook(2, 5)
+	r.Hook(3, 10)
+	out := r.Plot(5)
+	if !strings.Contains(out, "1.00 |") || !strings.Contains(out, "0.00 |") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("expected 3 plotted points:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Fraction 1 plots on the top row, fraction 0 on the bottom data row.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("top row missing the max point:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Errorf("bottom row missing the min point:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndClamp(t *testing.T) {
+	r := NewRecorder(10, 1)
+	if got := r.Plot(5); !strings.Contains(got, "no points") {
+		t.Errorf("empty plot = %q", got)
+	}
+	r.Hook(1, 5)
+	if out := r.Plot(1); strings.Count(out, "|") < 2 {
+		t.Errorf("rows clamp failed:\n%s", out)
+	}
+}
