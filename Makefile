@@ -1,0 +1,34 @@
+# Developer and CI entry points. `make ci` is the gate: tier-1 verify plus
+# vet and the race detector over the concurrent packages.
+
+GO ?= go
+
+.PHONY: build test verify vet-race ci bench bench-engines
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify (ROADMAP.md).
+verify: build test
+
+# Static analysis + race detection on the packages that spawn goroutines
+# (the sharded agent engine and the Monte-Carlo runner).
+vet-race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim/ ./internal/engine/
+
+ci: verify vet-race
+
+# Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
+# reported in EXPERIMENTS.md).
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+# Engine micro-benchmark smoke run: times serial vs. sharded agents and
+# cached vs. uncached batched stepping, appending one JSON record to
+# BENCH_engines.json so perf history accumulates across commits.
+bench-engines:
+	$(GO) run ./cmd/bitbench -out BENCH_engines.json

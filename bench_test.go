@@ -11,6 +11,7 @@ package bitspread_test
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"bitspread"
@@ -138,6 +139,96 @@ func BenchmarkEngineAblation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRunAgents compares the serial agent engine against the sharded
+// one on the acceptance instance n = 2¹⁸, ℓ = 3. The sharded variant
+// splits each round over GOMAXPROCS goroutines with independent
+// split-derived streams; on a W-core machine it should deliver ≥ 2×
+// the serial throughput (reported as agent updates per second).
+func BenchmarkRunAgents(b *testing.B) {
+	const n = 1 << 18
+	cfg := bitspread.Config{
+		N:         n,
+		Rule:      bitspread.Minority(3),
+		Z:         1,
+		X0:        n / 2,
+		MaxRounds: 2,
+	}
+	run := func(b *testing.B, opts bitspread.AgentOptions) {
+		g := bitspread.NewRNG(1)
+		var updates int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := bitspread.RunAgents(cfg, opts, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			updates += res.Activations
+		}
+		b.ReportMetric(float64(updates)/b.Elapsed().Seconds()/1e6, "Mupdates/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, bitspread.AgentOptions{}) })
+	b.Run("sharded", func(b *testing.B) {
+		run(b, bitspread.AgentOptions{Shards: runtime.GOMAXPROCS(0)})
+	})
+}
+
+// BenchmarkStepCountBatch measures one lockstep round of a replica batch
+// with and without the adopt-probability cache, across the sample-size
+// regimes of the paper (constant ℓ and ℓ = ⌈√(n ln n)⌉, where the O(ℓ)
+// Eq. 4 sum dominates and caching should win ≥ 5× per replica-round).
+func BenchmarkStepCountBatch(b *testing.B) {
+	const (
+		n        = 1 << 16
+		z        = 1
+		replicas = 1024 // full-sweep scale; cross-replica sharing is the point
+	)
+	for _, ell := range []int{1, 3, bitspread.SqrtNLogN(1).Of(n)} {
+		rule := bitspread.Minority(ell)
+		newBatch := func() ([]int64, []*bitspread.RNG) {
+			xs := make([]int64, replicas)
+			gs := make([]*bitspread.RNG, replicas)
+			master := bitspread.NewRNG(7)
+			for i := range xs {
+				xs[i] = n / 2
+				gs[i] = bitspread.NewRNG(master.Uint64())
+			}
+			return xs, gs
+		}
+		// Replicas that reach a consensus are re-seeded at n/2 so the
+		// batch stays in the pre-consensus band where Eq. 4 is actually
+		// evaluated (big-sample Minority absorbs in polylog rounds);
+		// both variants apply the identical reset.
+		reheat := func(xs []int64) {
+			for r := range xs {
+				if xs[r] <= 1 || xs[r] >= n-1 {
+					xs[r] = n / 2
+				}
+			}
+		}
+		b.Run("uncached/"+byEll(ell), func(b *testing.B) {
+			xs, gs := newBatch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := range xs {
+					xs[r] = bitspread.StepCount(rule, n, z, xs[r], gs[r])
+				}
+				reheat(xs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/replicas, "ns/replica-round")
+		})
+		b.Run("cached/"+byEll(ell), func(b *testing.B) {
+			xs, gs := newBatch()
+			cache := bitspread.NewAdoptCache(rule, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bitspread.StepCountBatch(cache, z, xs, gs)
+				reheat(xs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/replicas, "ns/replica-round")
+		})
+	}
 }
 
 // BenchmarkAdoptProb measures the Eq. 4 evaluation across sample sizes —

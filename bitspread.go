@@ -105,21 +105,30 @@ var (
 type (
 	Config = engine.Config
 	Result = engine.Result
-	// AgentOptions tunes the literal agent-level simulator.
+	// AgentOptions tunes the literal agent-level simulator; its Shards
+	// field splits the per-round loop across goroutines with independent
+	// split-derived streams (deterministic per (seed, shards)).
 	AgentOptions = engine.AgentOptions
+	// AdoptCache memoizes a rule's Eq. 4 adopt probabilities per exact
+	// one-count for a fixed population, the engine behind batched replica
+	// stepping.
+	AdoptCache = protocol.AdoptCache
 )
 
 // Engines and initial-configuration helpers.
 var (
-	RunParallel       = engine.RunParallel
-	RunSequential     = engine.RunSequential
-	RunAgents         = engine.RunAgents
-	StepCount         = engine.StepCount
-	SequentialStep    = engine.SequentialStep
-	WorstCaseInit     = engine.WorstCaseInit
-	BalancedInit      = engine.BalancedInit
-	AdversarialConfig = engine.AdversarialConfig
-	DefaultMaxRounds  = engine.DefaultMaxRounds
+	RunParallel         = engine.RunParallel
+	RunParallelReplicas = engine.RunParallelReplicas
+	RunSequential       = engine.RunSequential
+	RunAgents           = engine.RunAgents
+	StepCount           = engine.StepCount
+	StepCountBatch      = engine.StepCountBatch
+	SequentialStep      = engine.SequentialStep
+	WorstCaseInit       = engine.WorstCaseInit
+	BalancedInit        = engine.BalancedInit
+	AdversarialConfig   = engine.AdversarialConfig
+	DefaultMaxRounds    = engine.DefaultMaxRounds
+	NewAdoptCache       = protocol.NewAdoptCache
 )
 
 // BiasAnalysis is the root-and-sign portrait of a rule's bias polynomial

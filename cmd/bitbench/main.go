@@ -1,0 +1,209 @@
+// Command bitbench is the engine benchmark smoke runner: it times the hot
+// paths of the simulation stack — the serial vs. sharded agent engine and
+// the cached vs. uncached batched count engine — and appends one JSON
+// record per invocation to a trajectory file (default BENCH_engines.json),
+// so performance across commits accumulates into a machine-readable
+// history.
+//
+// Examples:
+//
+//	bitbench                               # defaults, appends to BENCH_engines.json
+//	bitbench -n 262144 -budget 500ms       # bigger instance, longer timing windows
+//	bitbench -out - -budget 20ms           # quick look, write the record to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bitbench:", err)
+		os.Exit(1)
+	}
+}
+
+// measurement is one timed benchmark in the output record.
+type measurement struct {
+	// NsPerOp is the wall time per operation; the operation is one full
+	// engine run for the agent benchmarks and one replica-round for the
+	// batch benchmarks.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Ops is how many operations the timing window executed.
+	Ops int64 `json:"ops"`
+}
+
+// record is one line of the trajectory file.
+type record struct {
+	Timestamp  string                 `json:"timestamp"`
+	GoVersion  string                 `json:"go_version"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	N          int64                  `json:"n"`
+	Shards     int                    `json:"shards"`
+	Replicas   int                    `json:"replicas"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+	// ShardSpeedup is serial/sharded agent-engine time per run;
+	// CacheSpeedup maps ℓ to uncached/cached time per replica-round.
+	ShardSpeedup float64            `json:"shard_speedup"`
+	CacheSpeedup map[string]float64 `json:"cache_speedup"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bitbench", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "BENCH_engines.json", "trajectory file to append the JSON record to (- for stdout)")
+		n        = fs.Int64("n", 1<<16, "population size for the benchmarks")
+		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "shard count for the sharded agent benchmark")
+		replicas = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
+		budget   = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 4 {
+		return fmt.Errorf("population %d too small", *n)
+	}
+
+	rec := record{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		N:            *n,
+		Shards:       *shards,
+		Replicas:     *replicas,
+		Benchmarks:   map[string]measurement{},
+		CacheSpeedup: map[string]float64{},
+	}
+
+	serial := benchAgents(*n, engine.AgentOptions{}, *budget)
+	sharded := benchAgents(*n, engine.AgentOptions{Shards: *shards}, *budget)
+	rec.Benchmarks["agents/serial"] = serial
+	rec.Benchmarks["agents/sharded"] = sharded
+	rec.ShardSpeedup = serial.NsPerOp / sharded.NsPerOp
+
+	for _, ell := range []int{1, 3, protocol.SqrtNLogN(1).Of(*n)} {
+		rule := protocol.Minority(ell)
+		key := fmt.Sprintf("ell=%d", ell)
+		uncached := benchBatch(rule, *n, *replicas, false, *budget)
+		cached := benchBatch(rule, *n, *replicas, true, *budget)
+		rec.Benchmarks["batch/uncached/"+key] = uncached
+		rec.Benchmarks["batch/cached/"+key] = cached
+		rec.CacheSpeedup[key] = uncached.NsPerOp / cached.NsPerOp
+	}
+
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		fmt.Fprintln(w, string(line))
+		return nil
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, string(line)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "appended %d benchmarks to %s (shard speedup %.2fx", len(rec.Benchmarks), *out, rec.ShardSpeedup)
+	for _, ell := range []int{1, 3, protocol.SqrtNLogN(1).Of(*n)} {
+		key := fmt.Sprintf("ell=%d", ell)
+		fmt.Fprintf(w, ", cache %s %.2fx", key, rec.CacheSpeedup[key])
+	}
+	fmt.Fprintln(w, ")")
+	return nil
+}
+
+// timeIt runs f(iters) in growing batches until the cumulative wall time
+// reaches the budget, then reports the amortized per-iteration cost.
+func timeIt(budget time.Duration, f func(iters int)) measurement {
+	var (
+		total time.Duration
+		ops   int64
+		batch = 1
+	)
+	for total < budget {
+		start := time.Now()
+		f(batch)
+		total += time.Since(start)
+		ops += int64(batch)
+		if batch < 1<<20 {
+			batch *= 2
+		}
+	}
+	return measurement{NsPerOp: float64(total.Nanoseconds()) / float64(ops), Ops: ops}
+}
+
+// benchAgents times full two-round agent-engine runs at ℓ = 3, the
+// configuration of the repo's BenchmarkRunAgents acceptance target.
+func benchAgents(n int64, opts engine.AgentOptions, budget time.Duration) measurement {
+	cfg := engine.Config{
+		N:         n,
+		Rule:      protocol.Minority(3),
+		Z:         1,
+		X0:        n / 2,
+		MaxRounds: 2,
+	}
+	g := rng.New(1)
+	return timeIt(budget, func(iters int) {
+		for i := 0; i < iters; i++ {
+			if _, err := engine.RunAgents(cfg, opts, g); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// benchBatch times one replica-round of the count engine over a batch,
+// with or without the adopt-probability cache. Replicas that absorb are
+// re-seeded at n/2 so the batch stays in the band where Eq. 4 is
+// evaluated.
+func benchBatch(rule *protocol.Rule, n int64, replicas int, cached bool, budget time.Duration) measurement {
+	const z = 1
+	xs := make([]int64, replicas)
+	gs := make([]*rng.RNG, replicas)
+	master := rng.New(7)
+	for i := range xs {
+		xs[i] = n / 2
+		gs[i] = rng.New(master.Uint64())
+	}
+	var cache *protocol.AdoptCache
+	if cached {
+		cache = protocol.NewAdoptCache(rule, n)
+	}
+	m := timeIt(budget, func(iters int) {
+		for i := 0; i < iters; i++ {
+			if cached {
+				engine.StepCountBatch(cache, z, xs, gs)
+			} else {
+				for r := range xs {
+					xs[r] = engine.StepCount(rule, n, z, xs[r], gs[r])
+				}
+			}
+			for r := range xs {
+				if xs[r] <= 1 || xs[r] >= n-1 {
+					xs[r] = n / 2
+				}
+			}
+		}
+	})
+	// Report per replica-round, matching BenchmarkStepCountBatch.
+	m.NsPerOp /= float64(replicas)
+	m.Ops *= int64(replicas)
+	return m
+}

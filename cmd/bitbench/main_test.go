@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickArgs keeps the smoke test fast: tiny instance, minimal timing
+// windows.
+func quickArgs(out string) []string {
+	return []string{"-out", out, "-n", "2048", "-replicas", "16", "-budget", "2ms"}
+}
+
+func TestRunAppendsTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_engines.json")
+	var msg strings.Builder
+	for i := 0; i < 2; i++ {
+		if err := run(quickArgs(path), &msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !strings.Contains(msg.String(), "appended") {
+		t.Errorf("missing summary line: %q", msg.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		if rec.N != 2048 || rec.Timestamp == "" || rec.GoVersion == "" {
+			t.Errorf("line %d metadata incomplete: %+v", lines, rec)
+		}
+		for _, key := range []string{
+			"agents/serial", "agents/sharded",
+			"batch/uncached/ell=1", "batch/cached/ell=1",
+			"batch/uncached/ell=3", "batch/cached/ell=3",
+		} {
+			m, ok := rec.Benchmarks[key]
+			if !ok || m.NsPerOp <= 0 || m.Ops <= 0 {
+				t.Errorf("line %d: benchmark %q missing or empty (%+v)", lines, key, m)
+			}
+		}
+		if rec.ShardSpeedup <= 0 {
+			t.Errorf("line %d: shard speedup %v", lines, rec.ShardSpeedup)
+		}
+		if len(rec.CacheSpeedup) != 3 {
+			t.Errorf("line %d: cache speedups %v, want 3 entries", lines, rec.CacheSpeedup)
+		}
+	}
+	if lines != 2 {
+		t.Errorf("trajectory has %d lines after two runs, want 2", lines)
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var msg strings.Builder
+	if err := run(quickArgs("-"), &msg); err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(msg.String()), &rec); err != nil {
+		t.Fatalf("stdout record not valid JSON: %v\n%s", err, msg.String())
+	}
+}
+
+func TestRunRejectsTinyPopulation(t *testing.T) {
+	var msg strings.Builder
+	if err := run([]string{"-n", "2"}, &msg); err == nil {
+		t.Error("population 2 accepted")
+	}
+}

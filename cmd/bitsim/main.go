@@ -45,6 +45,7 @@ func run(args []string, w io.Writer) error {
 		z         = fs.Int("z", 1, "correct opinion held by the source")
 		initSpec  = fs.String("init", "worst", "initial configuration: worst, balanced, adversarial, or an explicit count")
 		mode      = fs.String("mode", "parallel", "activation model: parallel, sequential, agents")
+		shards    = fs.Int("shards", 1, "agent-engine shards (mode=agents; deterministic per seed+shards)")
 		rounds    = fs.Int64("rounds", 0, "round cap (0: default O(n log n))")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		every     = fs.Int64("trace", 0, "print the one-count every k rounds (0: off)")
@@ -110,8 +111,12 @@ func run(args []string, w io.Writer) error {
 	}
 	cfg.Record = hook
 
-	fmt.Fprintf(w, "rule=%v  n=%d  z=%d  X0=%d  mode=%s  seed=%d\n",
-		rule, cfg.N, cfg.Z, cfg.X0, *mode, *seed)
+	shardNote := ""
+	if *mode == "agents" && *shards > 1 {
+		shardNote = fmt.Sprintf("  shards=%d", *shards)
+	}
+	fmt.Fprintf(w, "rule=%v  n=%d  z=%d  X0=%d  mode=%s  seed=%d%s\n",
+		rule, cfg.N, cfg.Z, cfg.X0, *mode, *seed, shardNote)
 	if err := rule.CheckProp3(); err != nil {
 		fmt.Fprintf(w, "warning: %v — the run cannot stabilize\n", err)
 	}
@@ -124,7 +129,7 @@ func run(args []string, w io.Writer) error {
 	case "sequential":
 		res, err = engine.RunSequential(cfg, g)
 	case "agents":
-		res, err = engine.RunAgents(cfg, engine.AgentOptions{}, g)
+		res, err = engine.RunAgents(cfg, engine.AgentOptions{Shards: *shards}, g)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -56,6 +56,28 @@ func TestRunSequentialAndAgents(t *testing.T) {
 	}
 }
 
+func TestRunAgentsSharded(t *testing.T) {
+	runOnce := func() string {
+		var out strings.Builder
+		err := run([]string{"-rule", "voter", "-n", "64", "-mode", "agents",
+			"-shards", "4", "-init", "worst", "-seed", "3"}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	got := runOnce()
+	if !strings.Contains(got, "shards=4") {
+		t.Errorf("header missing shard count:\n%s", got)
+	}
+	if !strings.Contains(got, "converged in") {
+		t.Errorf("sharded agents run did not converge:\n%s", got)
+	}
+	if again := runOnce(); again != got {
+		t.Errorf("same (seed, shards) produced different output:\n%s\nvs\n%s", got, again)
+	}
+}
+
 func TestRunNoiseWarns(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-rule", "voter", "-n", "32", "-noise", "0.05", "-rounds", "50"}, &out)

@@ -9,6 +9,26 @@ type AgentOptions struct {
 	// WithoutReplacement makes each agent draw its ℓ samples as distinct
 	// agents (an ablation; the paper's model samples with replacement).
 	WithoutReplacement bool
+	// Shards splits the per-round inner loop over that many goroutines,
+	// each consuming its own Split-derived random stream over a fixed
+	// contiguous range of agents. Results are bit-reproducible given
+	// (seed, Shards) regardless of GOMAXPROCS or scheduling; values <= 1
+	// select the serial engine, which reproduces the historical
+	// single-stream sequence exactly.
+	Shards int
+}
+
+// effectiveShards resolves the shard count for a population of n agents:
+// at most one shard per non-source agent, and never less than 1.
+func (o AgentOptions) effectiveShards(n int64) int {
+	s := o.Shards
+	if int64(s) > n-1 {
+		s = int(n - 1)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // RunAgents simulates the parallel setting literally, agent by agent, per
@@ -18,11 +38,15 @@ type AgentOptions struct {
 // sampled opinions, and redraws its opinion from g^[b](k). Agent 0 is the
 // source and always holds z.
 //
-// Cost is O(n·ℓ) per round; the engine exists to cross-validate the exact
+// Cost is O(n·ℓ) per round, split across opts.Shards goroutines when
+// sharding is requested; the engine exists to cross-validate the exact
 // count-level engine and to host per-agent extensions.
 func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if shards := opts.effectiveShards(cfg.N); shards > 1 {
+		return runAgentsSharded(cfg, opts, shards, g)
 	}
 	absorbing := cfg.Rule.CheckProp3() == nil
 	target := consensusTarget(cfg.N, cfg.Z)
@@ -35,21 +59,23 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 	next := make([]uint8, n)
 	x := cfg.X0
 
-	res := Result{FinalCount: x}
+	res := Result{FinalCount: x, Shards: 1}
 	if x == target && absorbing {
 		res.Converged = true
 		return res, nil
 	}
 
-	scratch := make([]int, 0, ell) // distinct-sample workspace
+	var sampler *distinctSampler
+	if opts.WithoutReplacement && ell <= n {
+		sampler = newDistinctSampler(n, ell)
+	}
 	for t := int64(1); t <= roundCap; t++ {
 		next[0] = uint8(cfg.Z)
 		var count int64 = int64(next[0])
 		for i := 1; i < n; i++ {
 			k := 0
-			if opts.WithoutReplacement && ell <= n {
-				scratch = distinctSamples(scratch[:0], n, ell, g)
-				for _, j := range scratch {
+			if sampler != nil {
+				for _, j := range sampler.sample(g) {
 					k += int(cur[j])
 				}
 			} else {
@@ -88,35 +114,106 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 // of non-source agents. Which agents start with which opinion is
 // irrelevant to the count process (agents are anonymous), but randomizing
 // keeps the agent engine honest for per-agent extensions.
+//
+// The ones are placed by Floyd's subset-sampling algorithm, which draws
+// exactly onesToPlace variates and uses the opinion array itself as the
+// membership set — O(X0) work instead of a full n-permutation.
 func initialOpinions(cfg Config, g *rng.RNG) []uint8 {
 	n := int(cfg.N)
 	ops := make([]uint8, n)
 	ops[0] = uint8(cfg.Z)
 	onesToPlace := int(cfg.X0) - cfg.Z
-	// Floyd-style sampling of onesToPlace distinct non-source indices.
-	perm := g.Perm(n - 1)
-	for i := 0; i < onesToPlace; i++ {
-		ops[perm[i]+1] = 1
+	m := n - 1 // candidate non-source slots, ops[1..n-1]
+	for j := m - onesToPlace; j < m; j++ {
+		t := g.Intn(j + 1)
+		if ops[1+t] == 1 {
+			ops[1+j] = 1
+		} else {
+			ops[1+t] = 1
+		}
 	}
 	return ops
 }
 
-// distinctSamples appends ell distinct uniform indices from [0, n) to dst.
-// It uses rejection, which is fast while ell ≪ n (the only regime the
-// without-replacement ablation targets).
-func distinctSamples(dst []int, n, ell int, g *rng.RNG) []int {
-	for len(dst) < ell {
-		v := g.Intn(n)
-		dup := false
-		for _, u := range dst {
-			if u == v {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			dst = append(dst, v)
+// smallSampleCut is the ℓ at or below which a linear duplicate scan beats
+// map bookkeeping for without-replacement draws.
+const smallSampleCut = 16
+
+// distinctSampler draws ℓ distinct uniform indices from [0, n) repeatedly
+// without allocating per call. Strategy by regime:
+//
+//   - ℓ ≤ smallSampleCut: rejection with a linear duplicate scan (the
+//     historical path, fastest while the scan fits in a cache line);
+//   - ℓ ≤ n/2: rejection with a hash-set duplicate check, expected O(ℓ)
+//     per call instead of the linear scan's O(ℓ²);
+//   - ℓ > n/2: partial Fisher–Yates over a persistent index permutation,
+//     O(ℓ) swaps with no rejection at all (the permutation stays valid
+//     between calls, so no re-initialization is needed).
+type distinctSampler struct {
+	n, ell int
+	buf    []int
+	seen   map[int]struct{} // map-rejection path
+	perm   []int            // partial-shuffle path
+}
+
+func newDistinctSampler(n, ell int) *distinctSampler {
+	s := &distinctSampler{n: n, ell: ell}
+	switch {
+	case ell <= smallSampleCut:
+		s.buf = make([]int, 0, ell)
+	case ell <= n/2:
+		s.buf = make([]int, 0, ell)
+		s.seen = make(map[int]struct{}, ell)
+	default:
+		s.perm = make([]int, n)
+		for i := range s.perm {
+			s.perm[i] = i
 		}
 	}
-	return dst
+	return s
+}
+
+// sample returns ℓ distinct indices; the slice is valid until the next
+// call.
+func (s *distinctSampler) sample(g *rng.RNG) []int {
+	switch {
+	case s.perm != nil:
+		// Partial Fisher–Yates: any permutation prefix of length ℓ is a
+		// uniform ordered sample without replacement.
+		for i := 0; i < s.ell; i++ {
+			j := i + g.Intn(s.n-i)
+			s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+		}
+		return s.perm[:s.ell]
+	case s.seen != nil:
+		clear(s.seen)
+		dst := s.buf[:0]
+		for len(dst) < s.ell {
+			v := g.Intn(s.n)
+			if _, dup := s.seen[v]; dup {
+				continue
+			}
+			s.seen[v] = struct{}{}
+			dst = append(dst, v)
+		}
+		s.buf = dst
+		return dst
+	default:
+		dst := s.buf[:0]
+		for len(dst) < s.ell {
+			v := g.Intn(s.n)
+			dup := false
+			for _, u := range dst {
+				if u == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, v)
+			}
+		}
+		s.buf = dst
+		return dst
+	}
 }

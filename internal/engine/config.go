@@ -116,6 +116,12 @@ type Result struct {
 	// configuration (every non-source agent holding 1-z); diagnostic for
 	// rules like Majority that trap there.
 	HitWrongConsensus bool
+	// Shards records how many independent random streams drove the run:
+	// the effective AgentOptions.Shards for the agent engine, 0 for the
+	// single-stream count-level and sequential engines. Together with the
+	// seed it identifies the exact realization, since sharded runs are
+	// bit-reproducible only for the same (seed, shards) pair.
+	Shards int
 }
 
 // consensusTarget returns the absorbing correct-consensus count n·z.

@@ -1,0 +1,157 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFillUint64MatchesScalar: block generation must be the identity on the
+// stream — same values, same post-state as repeated Uint64 calls.
+func TestFillUint64MatchesScalar(t *testing.T) {
+	a, b := New(99), New(99)
+	block := make([]uint64, 257)
+	a.FillUint64(block)
+	for i, got := range block {
+		if want := b.Uint64(); got != want {
+			t.Fatalf("block[%d] = %d, scalar gives %d", i, got, want)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("post-block states diverged")
+	}
+}
+
+// TestBernoulliThresholdMatchesFloat: for non-degenerate p, the threshold
+// trial must decide exactly as Float64() < p on the same stream.
+func TestBernoulliThresholdMatchesFloat(t *testing.T) {
+	ps := []float64{1e-17, 1e-9, 0.1, 0.25, 1.0 / 3, 0.5, 0.75, 0.999999, 1 - 1e-12}
+	for _, p := range ps {
+		thr := BernoulliThreshold(p)
+		if thr == 0 || thr == BernoulliAlways {
+			t.Fatalf("p=%v unexpectedly degenerate", p)
+		}
+		a, b := New(7), New(7)
+		for i := 0; i < 5000; i++ {
+			got := a.BernoulliT(thr)
+			want := b.Float64() < p
+			if got != want {
+				t.Fatalf("p=%v trial %d: threshold says %v, float says %v", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBernoulliThresholdDegenerate: the sentinels must not consume
+// randomness and must be certain.
+func TestBernoulliThresholdDegenerate(t *testing.T) {
+	if BernoulliThreshold(0) != 0 || BernoulliThreshold(-1) != 0 {
+		t.Error("p<=0 must map to threshold 0")
+	}
+	if BernoulliThreshold(1) != BernoulliAlways || BernoulliThreshold(2) != BernoulliAlways {
+		t.Error("p>=1 must map to BernoulliAlways")
+	}
+	// p within 2⁻⁵³ of 1 is indistinguishable from 1 for a 53-bit uniform.
+	if BernoulliThreshold(1-math.Pow(2, -54)) != BernoulliAlways {
+		t.Error("p > 1-2⁻⁵³ must map to BernoulliAlways")
+	}
+	g := New(3)
+	before := *g
+	if g.BernoulliT(0) {
+		t.Error("threshold 0 succeeded")
+	}
+	if !g.BernoulliT(BernoulliAlways) {
+		t.Error("BernoulliAlways failed")
+	}
+	if *g != before {
+		t.Error("degenerate trials consumed randomness")
+	}
+}
+
+// TestBoundedMatchesIntn: Next must be a drop-in for Intn — same values,
+// same stream consumption — including bounds that exercise rejection.
+func TestBoundedMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 1000, 1 << 20, (1 << 62) + 12345} {
+		b := NewBounded(n)
+		if b.N() != n {
+			t.Fatalf("N() = %d, want %d", b.N(), n)
+		}
+		x, y := New(42), New(42)
+		for i := 0; i < 2000; i++ {
+			if got, want := b.Next(x), y.Intn(n); got != want {
+				t.Fatalf("n=%d draw %d: Bounded %d vs Intn %d", n, i, got, want)
+			}
+		}
+		if x.Uint64() != y.Uint64() {
+			t.Fatalf("n=%d: stream consumption diverged", n)
+		}
+	}
+}
+
+// TestBoundedFillMatchesNext: Fill must equal repeated Next.
+func TestBoundedFillMatchesNext(t *testing.T) {
+	b := NewBounded(12345)
+	x, y := New(5), New(5)
+	dst := make([]int, 1000)
+	b.Fill(x, dst)
+	for i, got := range dst {
+		if want := b.Next(y); got != want {
+			t.Fatalf("dst[%d] = %d, Next gives %d", i, got, want)
+		}
+	}
+	if x.Uint64() != y.Uint64() {
+		t.Error("post-fill states diverged")
+	}
+}
+
+func TestNewBoundedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBounded(0) did not panic")
+		}
+	}()
+	NewBounded(0)
+}
+
+func BenchmarkBernoulliFloat(b *testing.B) {
+	g := New(1)
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		if g.Bernoulli(0.37) {
+			acc++
+		}
+	}
+	_ = acc
+}
+
+func BenchmarkBernoulliThreshold(b *testing.B) {
+	g := New(1)
+	thr := BernoulliThreshold(0.37)
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		if g.BernoulliT(thr) {
+			acc++
+		}
+	}
+	_ = acc
+}
+
+func BenchmarkIntnScalar(b *testing.B) {
+	g := New(1)
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += g.Intn(1 << 18)
+	}
+	_ = acc
+}
+
+func BenchmarkBoundedFill(b *testing.B) {
+	g := New(1)
+	bd := NewBounded(1 << 18)
+	dst := make([]int, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.Fill(g, dst)
+	}
+	b.SetBytes(0)
+	_ = dst
+}

@@ -87,6 +87,10 @@ func Run(t Task, workers int) (Outcome, error) {
 		seeds[i] = master.Uint64()
 	}
 
+	if t.Mode == Parallel {
+		return runParallelBatched(t, workers, seeds)
+	}
+
 	results := make([]engine.Result, t.Replicas)
 	errs := make([]error, t.Replicas)
 	var wg sync.WaitGroup
@@ -106,6 +110,43 @@ func Run(t Task, workers int) (Outcome, error) {
 	close(next)
 	wg.Wait()
 
+	for _, err := range errs {
+		if err != nil {
+			return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+		}
+	}
+	return Outcome{Task: t, Results: results}, nil
+}
+
+// runParallelBatched fans Parallel-mode replicas out as contiguous chunks,
+// one engine.RunParallelReplicas batch per worker, so all replicas of a
+// chunk advance in lockstep and share one memoized adopt-probability cache.
+// Per-replica seeds are the same ones the unbatched path would use and the
+// batched engine reproduces RunParallel exactly, so outcomes are identical
+// to running each replica on its own — just cheaper by a factor of the
+// cache hit rate on the O(ℓ) Eq. 4 sums.
+func runParallelBatched(t Task, workers int, seeds []uint64) (Outcome, error) {
+	results := make([]engine.Result, t.Replicas)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * t.Replicas / workers
+		hi := (w + 1) * t.Replicas / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			batch, err := engine.RunParallelReplicas(t.Config, seeds[lo:hi])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			copy(results[lo:hi], batch)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)

@@ -6,6 +6,7 @@ import (
 
 	"bitspread/internal/engine"
 	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
 )
 
 func voterTask(replicas int, seed uint64) Task {
@@ -66,6 +67,30 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if reflect.DeepEqual(a.Results, c.Results) {
 		t.Error("different seeds produced identical results")
+	}
+}
+
+// TestParallelBatchingPreservesResults: the batched lockstep path behind
+// Parallel mode must reproduce, replica for replica, exactly what the
+// historical one-goroutine-per-replica path produced — i.e. RunParallel on
+// the task's derived seeds. This is the guarantee that published sweep
+// numbers are unchanged by the caching engine.
+func TestParallelBatchingPreservesResults(t *testing.T) {
+	task := voterTask(25, 11)
+	out, err := Run(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := rng.New(task.Seed)
+	for i := 0; i < task.Replicas; i++ {
+		seed := master.Uint64()
+		want, err := engine.RunParallel(task.Config, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Results[i] != want {
+			t.Errorf("replica %d: batched %+v vs unbatched %+v", i, out.Results[i], want)
+		}
 	}
 }
 
