@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race ci bench bench-engines
+.PHONY: build test verify vet-race fuzz-fault ci bench bench-engines
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,19 @@ test:
 verify: build test
 
 # Static analysis + race detection on the packages that spawn goroutines
-# (the sharded agent engine and the Monte-Carlo runner).
+# or are shared across them (the sharded agent engine, the Monte-Carlo
+# runner, the fault schedules shared by replicas, and the AdoptCache
+# guard).
 vet-race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim/ ./internal/engine/
+	$(GO) test -race ./internal/sim/ ./internal/engine/ ./internal/fault/ ./internal/protocol/
 
-ci: verify vet-race
+# Fuzz smoke: every schedule the validator accepts must uphold the
+# Perturber contracts (counts in range, source slot untouched).
+fuzz-fault:
+	$(GO) test -fuzz=FuzzSchedule -fuzztime=10s -run '^$$' ./internal/fault/
+
+ci: verify vet-race fuzz-fault
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).

@@ -40,6 +40,7 @@ import (
 	"bitspread/internal/dual"
 	"bitspread/internal/engine"
 	"bitspread/internal/experiments"
+	"bitspread/internal/fault"
 	"bitspread/internal/gossip"
 	"bitspread/internal/graph"
 	"bitspread/internal/markov"
@@ -129,6 +130,27 @@ var (
 	AdversarialConfig   = engine.AdversarialConfig
 	DefaultMaxRounds    = engine.DefaultMaxRounds
 	NewAdoptCache       = protocol.NewAdoptCache
+)
+
+// Fault injection: a FaultSchedule is a validated, immutable list of
+// mid-run perturbations (resets, churn, stubborn minorities, sample
+// omission, source crashes) assigned to Config.Faults; engines apply it
+// at round boundaries, deterministically per seed, and only credit
+// consensus from the schedule's horizon onward. See DESIGN.md §9.
+type (
+	FaultSchedule = fault.Schedule
+	FaultEvent    = fault.Event
+)
+
+// Fault-schedule constructors.
+var (
+	NewFaultSchedule = fault.New
+	MustFaults       = fault.Must
+	ResetAt          = fault.ResetAt
+	ChurnAt          = fault.ChurnAt
+	StubbornFor      = fault.StubbornFor
+	OmissionFor      = fault.OmissionFor
+	SourceCrashFor   = fault.SourceCrashFor
 )
 
 // BiasAnalysis is the root-and-sign portrait of a rule's bias polynomial

@@ -5,6 +5,10 @@
 // so performance across commits accumulates into a machine-readable
 // history.
 //
+// SIGINT/SIGTERM stop the run at the next benchmark boundary and still
+// flush a record with the measurements taken so far (flagged
+// "interrupted"), so a cancelled session never loses its data.
+//
 // Examples:
 //
 //	bitbench                               # defaults, appends to BENCH_engines.json
@@ -13,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"bitspread/internal/engine"
@@ -27,7 +34,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bitbench:", err)
 		os.Exit(1)
 	}
@@ -54,11 +63,14 @@ type record struct {
 	Benchmarks map[string]measurement `json:"benchmarks"`
 	// ShardSpeedup is serial/sharded agent-engine time per run;
 	// CacheSpeedup maps ℓ to uncached/cached time per replica-round.
-	ShardSpeedup float64            `json:"shard_speedup"`
+	ShardSpeedup float64            `json:"shard_speedup,omitempty"`
 	CacheSpeedup map[string]float64 `json:"cache_speedup"`
+	// Interrupted marks a record flushed after SIGINT/SIGTERM: the
+	// benchmarks map holds only what finished before the signal.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bitbench", flag.ContinueOnError)
 	var (
 		out      = fs.String("out", "BENCH_engines.json", "trajectory file to append the JSON record to (- for stdout)")
@@ -73,6 +85,9 @@ func run(args []string, w io.Writer) error {
 	if *n < 4 {
 		return fmt.Errorf("population %d too small", *n)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	rec := record{
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
@@ -85,31 +100,70 @@ func run(args []string, w io.Writer) error {
 		CacheSpeedup: map[string]float64{},
 	}
 
-	serial := benchAgents(*n, engine.AgentOptions{}, *budget)
-	sharded := benchAgents(*n, engine.AgentOptions{Shards: *shards}, *budget)
-	rec.Benchmarks["agents/serial"] = serial
-	rec.Benchmarks["agents/sharded"] = sharded
-	rec.ShardSpeedup = serial.NsPerOp / sharded.NsPerOp
-
-	for _, ell := range []int{1, 3, protocol.SqrtNLogN(1).Of(*n)} {
+	// The benchmarks run in a fixed order; a signal stops the sequence at
+	// the next boundary and whatever finished is still flushed below.
+	type benchSpec struct {
+		key   string
+		bench func() measurement
+	}
+	ells := []int{1, 3, protocol.SqrtNLogN(1).Of(*n)}
+	specs := []benchSpec{
+		{"agents/serial", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{}, *budget) }},
+		{"agents/sharded", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{Shards: *shards}, *budget) }},
+	}
+	for _, ell := range ells {
 		rule := protocol.Minority(ell)
 		key := fmt.Sprintf("ell=%d", ell)
-		uncached := benchBatch(rule, *n, *replicas, false, *budget)
-		cached := benchBatch(rule, *n, *replicas, true, *budget)
-		rec.Benchmarks["batch/uncached/"+key] = uncached
-		rec.Benchmarks["batch/cached/"+key] = cached
-		rec.CacheSpeedup[key] = uncached.NsPerOp / cached.NsPerOp
+		specs = append(specs,
+			benchSpec{"batch/uncached/" + key, func() measurement { return benchBatch(ctx, rule, *n, *replicas, false, *budget) }},
+			benchSpec{"batch/cached/" + key, func() measurement { return benchBatch(ctx, rule, *n, *replicas, true, *budget) }},
+		)
+	}
+	for _, s := range specs {
+		if ctx.Err() != nil {
+			rec.Interrupted = true
+			break
+		}
+		rec.Benchmarks[s.key] = s.bench()
 	}
 
+	// Derived ratios, from whichever pairs completed.
+	if serial, ok := rec.Benchmarks["agents/serial"]; ok {
+		if sharded, ok := rec.Benchmarks["agents/sharded"]; ok {
+			rec.ShardSpeedup = serial.NsPerOp / sharded.NsPerOp
+		}
+	}
+	for _, ell := range ells {
+		key := fmt.Sprintf("ell=%d", ell)
+		uncached, okU := rec.Benchmarks["batch/uncached/"+key]
+		cached, okC := rec.Benchmarks["batch/cached/"+key]
+		if okU && okC {
+			rec.CacheSpeedup[key] = uncached.NsPerOp / cached.NsPerOp
+		}
+	}
+
+	if err := flushRecord(w, *out, rec, ells); err != nil {
+		return err
+	}
+	if rec.Interrupted {
+		return fmt.Errorf("interrupted after %d of %d benchmarks (partial record flushed): %w",
+			len(rec.Benchmarks), len(specs), ctx.Err())
+	}
+	return nil
+}
+
+// flushRecord appends the record to the trajectory file (or stdout) and
+// prints the human summary.
+func flushRecord(w io.Writer, out string, rec record, ells []int) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	if *out == "-" {
+	if out == "-" {
 		fmt.Fprintln(w, string(line))
 		return nil
 	}
-	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -120,18 +174,26 @@ func run(args []string, w io.Writer) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "appended %d benchmarks to %s (shard speedup %.2fx", len(rec.Benchmarks), *out, rec.ShardSpeedup)
-	for _, ell := range []int{1, 3, protocol.SqrtNLogN(1).Of(*n)} {
-		key := fmt.Sprintf("ell=%d", ell)
-		fmt.Fprintf(w, ", cache %s %.2fx", key, rec.CacheSpeedup[key])
+	fmt.Fprintf(w, "appended %d benchmarks to %s", len(rec.Benchmarks), out)
+	if rec.ShardSpeedup > 0 {
+		fmt.Fprintf(w, " (shard speedup %.2fx", rec.ShardSpeedup)
+		for _, ell := range ells {
+			key := fmt.Sprintf("ell=%d", ell)
+			if v, ok := rec.CacheSpeedup[key]; ok {
+				fmt.Fprintf(w, ", cache %s %.2fx", key, v)
+			}
+		}
+		fmt.Fprint(w, ")")
 	}
-	fmt.Fprintln(w, ")")
+	fmt.Fprintln(w)
 	return nil
 }
 
 // timeIt runs f(iters) in growing batches until the cumulative wall time
-// reaches the budget, then reports the amortized per-iteration cost.
-func timeIt(budget time.Duration, f func(iters int)) measurement {
+// reaches the budget or ctx ends, then reports the amortized
+// per-iteration cost. A cancelled window is shorter but still a valid
+// amortized measurement.
+func timeIt(ctx context.Context, budget time.Duration, f func(iters int)) measurement {
 	var (
 		total time.Duration
 		ops   int64
@@ -142,6 +204,9 @@ func timeIt(budget time.Duration, f func(iters int)) measurement {
 		f(batch)
 		total += time.Since(start)
 		ops += int64(batch)
+		if ctx.Err() != nil {
+			break
+		}
 		if batch < 1<<20 {
 			batch *= 2
 		}
@@ -151,7 +216,7 @@ func timeIt(budget time.Duration, f func(iters int)) measurement {
 
 // benchAgents times full two-round agent-engine runs at ℓ = 3, the
 // configuration of the repo's BenchmarkRunAgents acceptance target.
-func benchAgents(n int64, opts engine.AgentOptions, budget time.Duration) measurement {
+func benchAgents(ctx context.Context, n int64, opts engine.AgentOptions, budget time.Duration) measurement {
 	cfg := engine.Config{
 		N:         n,
 		Rule:      protocol.Minority(3),
@@ -160,7 +225,7 @@ func benchAgents(n int64, opts engine.AgentOptions, budget time.Duration) measur
 		MaxRounds: 2,
 	}
 	g := rng.New(1)
-	return timeIt(budget, func(iters int) {
+	return timeIt(ctx, budget, func(iters int) {
 		for i := 0; i < iters; i++ {
 			if _, err := engine.RunAgents(cfg, opts, g); err != nil {
 				panic(err)
@@ -173,7 +238,7 @@ func benchAgents(n int64, opts engine.AgentOptions, budget time.Duration) measur
 // with or without the adopt-probability cache. Replicas that absorb are
 // re-seeded at n/2 so the batch stays in the band where Eq. 4 is
 // evaluated.
-func benchBatch(rule *protocol.Rule, n int64, replicas int, cached bool, budget time.Duration) measurement {
+func benchBatch(ctx context.Context, rule *protocol.Rule, n int64, replicas int, cached bool, budget time.Duration) measurement {
 	const z = 1
 	xs := make([]int64, replicas)
 	gs := make([]*rng.RNG, replicas)
@@ -186,7 +251,7 @@ func benchBatch(rule *protocol.Rule, n int64, replicas int, cached bool, budget 
 	if cached {
 		cache = protocol.NewAdoptCache(rule, n)
 	}
-	m := timeIt(budget, func(iters int) {
+	m := timeIt(ctx, budget, func(iters int) {
 		for i := 0; i < iters; i++ {
 			if cached {
 				engine.StepCountBatch(cache, z, xs, gs)

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,7 +21,7 @@ func TestRunAppendsTrajectory(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_engines.json")
 	var msg strings.Builder
 	for i := 0; i < 2; i++ {
-		if err := run(quickArgs(path), &msg); err != nil {
+		if err := run(context.Background(), quickArgs(path), &msg); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -67,7 +69,7 @@ func TestRunAppendsTrajectory(t *testing.T) {
 
 func TestRunStdout(t *testing.T) {
 	var msg strings.Builder
-	if err := run(quickArgs("-"), &msg); err != nil {
+	if err := run(context.Background(), quickArgs("-"), &msg); err != nil {
 		t.Fatal(err)
 	}
 	var rec record
@@ -78,7 +80,32 @@ func TestRunStdout(t *testing.T) {
 
 func TestRunRejectsTinyPopulation(t *testing.T) {
 	var msg strings.Builder
-	if err := run([]string{"-n", "2"}, &msg); err == nil {
+	if err := run(context.Background(), []string{"-n", "2"}, &msg); err == nil {
 		t.Error("population 2 accepted")
+	}
+}
+
+// TestRunInterruptedStillFlushes: a signal must not lose the session — a
+// record flagged interrupted is appended with whatever finished, and the
+// run reports the cancellation.
+func TestRunInterruptedStillFlushes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := filepath.Join(t.TempDir(), "BENCH_engines.json")
+	var msg strings.Builder
+	err := run(ctx, quickArgs(path), &msg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("no record flushed after interruption: %v", rerr)
+	}
+	var rec record
+	if jerr := json.Unmarshal(data, &rec); jerr != nil {
+		t.Fatalf("flushed record not valid JSON: %v\n%s", jerr, data)
+	}
+	if !rec.Interrupted {
+		t.Errorf("record not flagged interrupted: %+v", rec)
 	}
 }

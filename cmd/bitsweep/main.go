@@ -2,34 +2,49 @@
 // paper-vs-measured index (DESIGN.md §4, EXPERIMENTS.md) or a selected
 // subset, printing each experiment's table and verdict.
 //
+// Long sweeps are interruptible and resumable: SIGINT/SIGTERM (and
+// -timeout) cancel the in-flight simulations at the next round boundary,
+// and with -journal every finished replica is checkpointed to a JSONL
+// file, so re-running with -resume picks up exactly where the sweep
+// stopped and lands on the same final tables.
+//
 // Examples:
 //
 //	bitsweep -list
 //	bitsweep -exp T2
 //	bitsweep -exp all -quick
 //	bitsweep -exp F4 -csv > f4.csv
+//	bitsweep -exp all -journal sweep.jsonl          # ^C-safe
+//	bitsweep -exp all -journal sweep.jsonl -resume  # continue after ^C
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"bitspread/internal/experiments"
+	"bitspread/internal/sim"
 	"bitspread/internal/table"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bitsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bitsweep", flag.ContinueOnError)
 	var (
 		expSpec = fs.String("exp", "all", "experiment ID (e.g. T2, F4) or 'all'")
@@ -39,9 +54,23 @@ func run(args []string, w io.Writer) error {
 		workers = fs.Int("workers", 0, "simulation worker goroutines (0: GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
 		md      = fs.Bool("md", false, "emit a Markdown paper-vs-measured table (the EXPERIMENTS.md format)")
+		journal = fs.String("journal", "", "JSONL checkpoint file: every finished replica is flushed here")
+		resume  = fs.Bool("resume", false, "load finished replicas from the -journal file instead of recomputing them")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0: none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if *resume && *journal == "" {
+		return errors.New("-resume needs -journal to know which checkpoint to load")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *list {
@@ -65,7 +94,20 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Workers: *workers, Quick: *quick}
+	var ckpt *sim.Journal
+	if *journal != "" {
+		var err error
+		ckpt, err = sim.OpenJournal(*journal, *resume)
+		if err != nil {
+			return err
+		}
+		defer ckpt.Close()
+		if *resume {
+			fmt.Fprintf(w, "resuming: %d replicas served from %s\n\n", ckpt.Len(), *journal)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Workers: *workers, Quick: *quick, Ctx: ctx, Journal: ckpt}
 	if *md {
 		return writeMarkdown(w, selected, opts)
 	}
@@ -73,7 +115,7 @@ func run(args []string, w io.Writer) error {
 		start := time.Now()
 		res, err := e.Run(opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return sweepErr(e.ID, err, *journal)
 		}
 		if *csv {
 			if tb, ok := res.Table.(*table.Table); ok {
@@ -90,6 +132,19 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// sweepErr wraps an experiment failure; for an interruption it adds the
+// resume recipe, since the whole point of the checkpoint is that ^C is
+// cheap.
+func sweepErr(id string, err error, journal string) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if journal != "" {
+			return fmt.Errorf("%s: %w — finished replicas are checkpointed; re-run with -journal %s -resume to continue", id, err, journal)
+		}
+		return fmt.Errorf("%s: %w — run with -journal FILE to make interruptions resumable", id, err)
+	}
+	return fmt.Errorf("%s: %w", id, err)
 }
 
 // writeMarkdown renders a paper-vs-measured Markdown table, one row per

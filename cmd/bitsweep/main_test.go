@@ -1,17 +1,21 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunList(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, id := range []string{"T1", "T7", "F4", "X7"} {
+	for _, id := range []string{"T1", "T7", "F4", "X7", "X12"} {
 		if !strings.Contains(got, id) {
 			t.Errorf("list missing %s:\n%s", id, got)
 		}
@@ -20,7 +24,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "T7", "-quick"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "T7", "-quick"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -31,7 +35,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCommaSeparated(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "T6, T7", "-quick"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "T6, T7", "-quick"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -42,7 +46,7 @@ func TestRunCommaSeparated(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "T6", "-quick", "-csv"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "T6", "-quick", "-csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -54,16 +58,28 @@ func TestRunCSV(t *testing.T) {
 	}
 }
 
+// TestRunUnknownExperiment: a bad -exp must fail (main exits non-zero) and
+// the error must name the valid IDs so the user can correct the call.
 func TestRunUnknownExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "Z9"}, &out); err == nil {
-		t.Error("unknown experiment accepted")
+	err := run(context.Background(), []string{"-exp", "Z9"}, &out)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"Z9"`) {
+		t.Errorf("error does not name the bad ID: %v", err)
+	}
+	for _, id := range []string{"T1", "F4", "X12"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list valid ID %s: %v", id, err)
+		}
 	}
 }
 
 func TestRunMarkdown(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "T7", "-quick", "-md"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "T7", "-quick", "-md"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -77,4 +93,91 @@ func TestRunMarkdown(t *testing.T) {
 	if strings.Contains(got, " |E[X") {
 		t.Errorf("unescaped pipe leaked:\n%s", got)
 	}
+}
+
+func TestRunResumeNeedsJournal(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-exp", "T7", "-resume"}, &out); err == nil {
+		t.Error("-resume without -journal accepted")
+	}
+}
+
+// TestRunCancelledSweepSuggestsResume: an interrupted sweep must fail with
+// the context error and, when a journal is in play, tell the user how to
+// resume.
+func TestRunCancelledSweepSuggestsResume(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var out strings.Builder
+	err := run(ctx, []string{"-exp", "T2", "-quick", "-journal", path}, &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("interruption error missing the resume hint: %v", err)
+	}
+}
+
+// TestRunResumeReproducesSweep is the acceptance scenario: a sweep killed
+// mid-way leaves a journal with a prefix of the work, and resuming from it
+// must print the exact same final table as an uninterrupted run.
+func TestRunResumeReproducesSweep(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{"-exp", "T2", "-quick"}, extra...)
+	}
+	var want strings.Builder
+	if err := run(context.Background(), args(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full run with a journal: same table, checkpoint on disk.
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var journalled strings.Builder
+	if err := run(context.Background(), args("-journal", path), &journalled); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(journalled.String()) != stripTimings(want.String()) {
+		t.Error("journalled run differs from plain run")
+	}
+
+	// Simulate a sweep killed mid-way: keep only the first half of the
+	// checkpoint, then resume. The table must come out identical.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("journal too small to truncate meaningfully (%d lines)", len(lines))
+	}
+	partial := strings.Join(lines[:len(lines)/2], "\n") + "\n"
+	if err := os.WriteFile(path, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run(context.Background(), args("-journal", path, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	got := resumed.String()
+	if !strings.Contains(got, "resuming:") {
+		t.Errorf("resume banner missing:\n%s", got)
+	}
+	got = got[strings.Index(got, "== T2"):] // drop the banner before comparing
+	if stripTimings(got) != stripTimings(want.String()) {
+		t.Errorf("resumed sweep differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want.String(), got)
+	}
+}
+
+// stripTimings removes the wall-clock trailer lines, the only
+// run-dependent part of the output.
+func stripTimings(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "(") && strings.HasSuffix(line, "s)") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }

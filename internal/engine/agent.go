@@ -54,13 +54,15 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 	roundCap := cfg.maxRounds()
 	ell := cfg.Rule.SampleSize()
 	n := int(cfg.N)
+	faults := cfg.perturber()
+	horizon := faultHorizon(faults)
 
 	cur := initialOpinions(cfg, g)
 	next := make([]uint8, n)
 	x := cfg.X0
 
 	res := Result{FinalCount: x, Shards: 1}
-	if x == target && absorbing {
+	if x == target && absorbing && horizon == 0 {
 		res.Converged = true
 		return res, nil
 	}
@@ -70,9 +72,32 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 		sampler = newDistinctSampler(n, ell)
 	}
 	for t := int64(1); t <= roundCap; t++ {
-		next[0] = uint8(cfg.Z)
+		if cfg.Halt != nil && cfg.Halt() {
+			res.Interrupted = true
+			return res, nil
+		}
+		src := cfg.Z
+		var omitQ float64
+		pinnedEnd := 1
+		if faults != nil {
+			src = faultBoundaryAgents(faults, t, cfg.Z, cur, g)
+			omitQ = faults.OmitProb(t)
+			s1, s0 := faults.Stubborn(t, cfg.N)
+			pinnedEnd = 1 + int(s1) + int(s0)
+		}
+		next[0] = uint8(src)
 		var count int64 = int64(next[0])
-		for i := 1; i < n; i++ {
+		for i := 1; i < pinnedEnd; i++ {
+			// Stubborn agents keep the opinion the boundary pinned them at.
+			next[i] = cur[i]
+			count += int64(cur[i])
+		}
+		for i := pinnedEnd; i < n; i++ {
+			if omitQ > 0 && g.Bernoulli(omitQ) {
+				next[i] = cur[i]
+				count += int64(cur[i])
+				continue
+			}
 			k := 0
 			if sampler != nil {
 				for _, j := range sampler.sample(g) {
@@ -101,7 +126,7 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 		if cfg.Record != nil {
 			cfg.Record(t, x)
 		}
-		if x == target && absorbing {
+		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			return res, nil
 		}

@@ -50,6 +50,8 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 	target := consensusTarget(cfg.N, cfg.Z)
 	trap := wrongTrap(cfg.N, cfg.Z)
 	roundCap := cfg.maxRounds()
+	faults := cfg.perturber()
+	horizon := faultHorizon(faults)
 
 	results := make([]Result, len(seeds))
 	xs := make([]int64, len(seeds))
@@ -57,7 +59,7 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 	active := make([]int, 0, len(seeds))
 	for i, seed := range seeds {
 		results[i] = Result{FinalCount: cfg.X0}
-		if cfg.X0 == target && absorbing {
+		if cfg.X0 == target && absorbing && horizon == 0 {
 			results[i].Converged = true
 			continue
 		}
@@ -70,13 +72,38 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 	}
 
 	cache := protocol.NewAdoptCache(cfg.Rule, cfg.N)
+	srcPrev := cfg.Z
 	for t := int64(1); t <= roundCap && len(active) > 0; t++ {
+		if cfg.Halt != nil && cfg.Halt() {
+			for _, i := range active {
+				results[i].Interrupted = true
+			}
+			return results, nil
+		}
+		src := cfg.Z
+		if faults != nil {
+			// The source opinion is a pure function of the round, so the
+			// boundary flip is shared; the event randomness is per-replica.
+			src = faults.SourceOpinion(t, cfg.Z)
+		}
 		live := active[:0]
 		for _, i := range active {
-			p0, p1 := cache.Probs(xs[i])
-			m1 := xs[i] - int64(cfg.Z)
-			m0 := (cfg.N - xs[i]) - int64(1-cfg.Z)
-			x := int64(cfg.Z) + gs[i].Binomial(m1, p1) + gs[i].Binomial(m0, p0)
+			var x int64
+			if faults != nil {
+				x = xs[i]
+				if src != srcPrev {
+					x += int64(src - srcPrev)
+				}
+				if faults.BoundaryAt(t) {
+					x = faults.PerturbCount(t, cfg.N, src, x, gs[i])
+				}
+				x = stepCountFaulty(nil, cache, faults, t, cfg.N, src, x, gs[i])
+			} else {
+				p0, p1 := cache.Probs(xs[i])
+				m1 := xs[i] - int64(cfg.Z)
+				m0 := (cfg.N - xs[i]) - int64(1-cfg.Z)
+				x = int64(cfg.Z) + gs[i].Binomial(m1, p1) + gs[i].Binomial(m0, p0)
+			}
 			xs[i] = x
 
 			res := &results[i]
@@ -86,13 +113,14 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 			if x == trap {
 				res.HitWrongConsensus = true
 			}
-			if x == target && absorbing {
+			if x == target && absorbing && t >= horizon {
 				res.Converged = true
 				continue // retire this replica
 			}
 			live = append(live, i)
 		}
 		active = live
+		srcPrev = src
 	}
 	return results, nil
 }

@@ -58,6 +58,16 @@ type Config struct {
 	// round index (1-based) and the new one-count. For the sequential
 	// engine it is invoked once per parallel round (n activations).
 	Record func(round, count int64)
+	// Faults, if non-nil and non-empty, injects the schedule's mid-run
+	// perturbations at round boundaries (see internal/fault). A nil or
+	// empty Perturber leaves every engine byte-identical to the unhooked
+	// code path: same stream consumption, same Result.
+	Faults Perturber
+	// Halt, if non-nil, is polled at round boundaries; once it returns
+	// true the run stops and reports the partial Result with Interrupted
+	// set. It must be safe for concurrent use (replicas share it) and
+	// must not consume randomness.
+	Halt func() bool
 }
 
 // DefaultMaxRounds returns the default simulation cap, 64·n·ln(n) + 1024
@@ -69,6 +79,11 @@ func DefaultMaxRounds(n int64) int64 {
 	}
 	return int64(64*float64(n)*math.Log(float64(n))) + 1024
 }
+
+// Validate reports the first configuration error without running anything;
+// the sim layer uses it to fail a whole task fast instead of once per
+// replica.
+func (c *Config) Validate() error { return c.validate() }
 
 // validate normalizes cfg and reports the first configuration error.
 func (c *Config) validate() error {
@@ -116,6 +131,10 @@ type Result struct {
 	// configuration (every non-source agent holding 1-z); diagnostic for
 	// rules like Majority that trap there.
 	HitWrongConsensus bool
+	// Interrupted is true when the run was stopped by Config.Halt before
+	// reaching consensus or its round cap; the other fields then describe
+	// the partial trajectory, not a completed measurement.
+	Interrupted bool
 	// Shards records how many independent random streams drove the run:
 	// the effective AgentOptions.Shards for the agent engine, 0 for the
 	// single-stream count-level and sequential engines. Together with the

@@ -26,6 +26,9 @@ func StepCount(r *protocol.Rule, n int64, z int, x int64, g *rng.RNG) int64 {
 // RunParallel simulates the parallel-setting process with the exact
 // count-level engine until the correct consensus is hit or the round cap
 // expires. The generator g must not be shared across concurrent runs.
+// With cfg.Faults set, scheduled perturbations are applied at round
+// boundaries and consensus only counts once the schedule's horizon has
+// passed; with cfg.Halt set, the run stops early when it fires.
 func RunParallel(cfg Config, g *rng.RNG) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -34,15 +37,27 @@ func RunParallel(cfg Config, g *rng.RNG) (Result, error) {
 	target := consensusTarget(cfg.N, cfg.Z)
 	trap := wrongTrap(cfg.N, cfg.Z)
 	roundCap := cfg.maxRounds()
+	faults := cfg.perturber()
+	horizon := faultHorizon(faults)
 
 	x := cfg.X0
+	src := cfg.Z
 	res := Result{FinalCount: x}
-	if x == target && absorbing {
+	if x == target && absorbing && horizon == 0 {
 		res.Converged = true
 		return res, nil
 	}
 	for t := int64(1); t <= roundCap; t++ {
-		x = StepCount(cfg.Rule, cfg.N, cfg.Z, x, g)
+		if cfg.Halt != nil && cfg.Halt() {
+			res.Interrupted = true
+			return res, nil
+		}
+		if faults != nil {
+			x, src = faultBoundaryCount(faults, t, cfg.N, cfg.Z, src, x, g)
+			x = stepCountFaulty(cfg.Rule, nil, faults, t, cfg.N, src, x, g)
+		} else {
+			x = StepCount(cfg.Rule, cfg.N, cfg.Z, x, g)
+		}
 		res.Rounds = t
 		res.Activations += cfg.N - 1
 		res.FinalCount = x
@@ -52,7 +67,7 @@ func RunParallel(cfg Config, g *rng.RNG) (Result, error) {
 		if cfg.Record != nil {
 			cfg.Record(t, x)
 		}
-		if x == target && absorbing {
+		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			return res, nil
 		}

@@ -36,7 +36,8 @@ func SequentialStep(r *protocol.Rule, n int64, z int, x int64, g *rng.RNG) int64
 // interpreted in parallel rounds: one parallel round is n activations, so
 // the engine performs up to maxRounds·n activations. Result.Rounds reports
 // parallel rounds (rounded up) for apples-to-apples comparison with the
-// parallel engine, per the paper's convention.
+// parallel engine, per the paper's convention. Fault boundaries fire every
+// n activations — the sequential image of a parallel round boundary.
 func RunSequential(cfg Config, g *rng.RNG) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -45,15 +46,32 @@ func RunSequential(cfg Config, g *rng.RNG) (Result, error) {
 	target := consensusTarget(cfg.N, cfg.Z)
 	trap := wrongTrap(cfg.N, cfg.Z)
 	maxActivations := cfg.maxRounds() * cfg.N
+	faults := cfg.perturber()
+	horizon := faultHorizon(faults)
 
 	x := cfg.X0
+	src := cfg.Z
 	res := Result{FinalCount: x}
-	if x == target && absorbing {
+	if x == target && absorbing && horizon == 0 {
 		res.Converged = true
 		return res, nil
 	}
 	for a := int64(1); a <= maxActivations; a++ {
-		x = SequentialStep(cfg.Rule, cfg.N, cfg.Z, x, g)
+		t := (a-1)/cfg.N + 1 // current parallel round
+		if a%cfg.N == 1 {
+			if cfg.Halt != nil && cfg.Halt() {
+				res.Interrupted = true
+				return res, nil
+			}
+			if faults != nil {
+				x, src = faultBoundaryCount(faults, t, cfg.N, cfg.Z, src, x, g)
+			}
+		}
+		if faults != nil {
+			x = sequentialStepFaulty(cfg.Rule, faults, t, cfg.N, src, x, g)
+		} else {
+			x = SequentialStep(cfg.Rule, cfg.N, cfg.Z, x, g)
+		}
 		res.Activations = a
 		res.FinalCount = x
 		if x == trap {
@@ -62,7 +80,7 @@ func RunSequential(cfg Config, g *rng.RNG) (Result, error) {
 		if cfg.Record != nil && a%cfg.N == 0 {
 			cfg.Record(a/cfg.N, x)
 		}
-		if x == target && absorbing {
+		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			res.Rounds = (a + cfg.N - 1) / cfg.N
 			return res, nil

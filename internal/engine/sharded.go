@@ -35,13 +35,15 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 	roundCap := cfg.maxRounds()
 	ell := cfg.Rule.SampleSize()
 	n := int(cfg.N)
+	faults := cfg.perturber()
+	horizon := faultHorizon(faults)
 
 	cur := initialOpinions(cfg, g)
 	next := make([]uint8, n)
 	x := cfg.X0
 
 	res := Result{FinalCount: x, Shards: shards}
-	if x == target && absorbing {
+	if x == target && absorbing && horizon == 0 {
 		res.Converged = true
 		return res, nil
 	}
@@ -70,12 +72,29 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 
 	var wg sync.WaitGroup
 	for t := int64(1); t <= roundCap; t++ {
-		next[0] = uint8(cfg.Z)
+		if cfg.Halt != nil && cfg.Halt() {
+			res.Interrupted = true
+			return res, nil
+		}
+		src := cfg.Z
+		var omitThr uint64
+		pinnedEnd := 1
+		if faults != nil {
+			// Boundary events run serially on the main stream, so the
+			// trajectory stays a function of (seed, shards) alone.
+			src = faultBoundaryAgents(faults, t, cfg.Z, cur, g)
+			if q := faults.OmitProb(t); q > 0 {
+				omitThr = rng.BernoulliThreshold(q)
+			}
+			s1, s0 := faults.Stubborn(t, cfg.N)
+			pinnedEnd = 1 + int(s1) + int(s0)
+		}
+		next[0] = uint8(src)
 		for _, w := range workers {
 			wg.Add(1)
 			go func(w *agentShard) {
 				defer wg.Done()
-				w.step(cur, next, ell, bounded, thr0, thr1)
+				w.step(cur, next, ell, bounded, thr0, thr1, omitThr, pinnedEnd)
 			}(w)
 		}
 		wg.Wait()
@@ -95,7 +114,7 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 		if cfg.Record != nil {
 			cfg.Record(t, x)
 		}
-		if x == target && absorbing {
+		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			return res, nil
 		}
@@ -104,11 +123,24 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 }
 
 // step advances the shard's agent range one round, writing new opinions
-// into next[lo:hi] and recording the ones written.
-func (w *agentShard) step(cur, next []uint8, ell int, bounded rng.Bounded, thr0, thr1 []uint64) {
+// into next[lo:hi] and recording the ones written. Agents below pinnedEnd
+// are stubborn and keep their opinion; when omitThr is non-zero each
+// remaining agent first flips the omission coin and on success keeps its
+// opinion without sampling.
+func (w *agentShard) step(cur, next []uint8, ell int, bounded rng.Bounded, thr0, thr1 []uint64, omitThr uint64, pinnedEnd int) {
 	g := w.g
 	var count int64
 	for i := w.lo; i < w.hi; i++ {
+		if i < pinnedEnd {
+			next[i] = cur[i]
+			count += int64(cur[i])
+			continue
+		}
+		if omitThr != 0 && g.BernoulliT(omitThr) {
+			next[i] = cur[i]
+			count += int64(cur[i])
+			continue
+		}
 		k := 0
 		if w.sampler != nil {
 			for _, j := range w.sampler.sample(g) {

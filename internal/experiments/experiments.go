@@ -13,8 +13,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"bitspread/internal/sim"
 )
 
 // Options control experiment sizing and reproducibility.
@@ -27,6 +30,22 @@ type Options struct {
 	// runs in seconds (used by `go test`); full-size runs are the default
 	// for the benchmark harness and cmd/bitsweep.
 	Quick bool
+	// Ctx, if non-nil, cancels in-flight simulations at round boundaries
+	// (cmd/bitsweep wires SIGINT/SIGTERM and -timeout through it). A
+	// cancelled experiment returns the context error rather than a
+	// partial table.
+	Ctx context.Context
+	// Journal, if non-nil, checkpoints every finished replica so an
+	// interrupted sweep can resume without recomputation.
+	Journal *sim.Journal
+}
+
+// ctx resolves the run context, defaulting to context.Background().
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Result is an experiment's output: the rendered table plus named metrics
@@ -78,6 +97,7 @@ func registry() []Experiment {
 		x9Topology(),
 		x10Universality(),
 		x11PopulationProtocols(),
+		x12FaultRecovery(),
 	}
 }
 

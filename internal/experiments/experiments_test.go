@@ -39,8 +39,8 @@ func metric(t *testing.T, res *Result, key string) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registered %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registered %d experiments, want 23", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -206,6 +206,19 @@ func TestX3SampleSizeBoundary(t *testing.T) {
 	}
 	if v := metric(t, res, "log_teleport_min"); v < 0.95 {
 		t.Errorf("log-ℓ teleport rate = %v (paper: →1)", v)
+	}
+}
+
+func TestX12FaultRecovery(t *testing.T) {
+	res := runExp(t, "X12")
+	if v := metric(t, res, "voter_min_rate"); v < 0.95 {
+		t.Errorf("voter recovery rate = %v, want ≈1 (self-stabilization)", v)
+	}
+	if v := metric(t, res, "voter_recovery_per_nlogn"); v > 5 {
+		t.Errorf("voter E[recovery]/(n ln n) = %v, want a small constant (Theorem 2)", v)
+	}
+	if v := metric(t, res, "minority_trap_rate"); v > 0.05 {
+		t.Errorf("Minority escaped the injected 3n/4 trap with rate %v (X6: exponential time)", v)
 	}
 }
 

@@ -39,15 +39,17 @@ type measured struct {
 	p99Tau  float64
 }
 
-// measure runs replicas of the given configuration and aggregates.
+// measure runs replicas of the given configuration and aggregates. It
+// honours opts.Ctx (cancellation surfaces as the context error) and
+// checkpoints finished replicas into opts.Journal when one is set.
 func measure(opts Options, name string, cfg engine.Config, mode sim.Mode, replicas int, salt uint64) (measured, error) {
-	out, err := sim.Run(sim.Task{
+	out, err := sim.RunContext(opts.ctx(), sim.Task{
 		Name:     name,
 		Config:   cfg,
 		Mode:     mode,
 		Replicas: replicas,
 		Seed:     subSeed(opts, salt),
-	}, opts.Workers)
+	}, opts.Workers, opts.Journal)
 	if err != nil {
 		return measured{}, err
 	}

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"testing"
+
+	"bitspread/internal/rng"
+)
+
+// FuzzSchedule drives the schedule validator and, for every event list it
+// accepts, checks that the engine-facing hooks uphold their contracts on a
+// small instance: queries stay in range, the perturbed count never leaves
+// the valid band, and the agent-level hook never touches the source slot.
+// A finding here would mean a validated schedule can crash or corrupt an
+// engine — exactly the class of bug the robustness layer must not have.
+func FuzzSchedule(f *testing.F) {
+	f.Add(uint8(1), int64(3), int64(0), 0.5, 1, 0.5, 0.25, uint8(4), int64(2), int64(5), 1.0, 0, 0.9, 0.1)
+	f.Add(uint8(3), int64(1), int64(4), 0.25, 0, 0.0, 0.0, uint8(5), int64(2), int64(2), 0.0, 1, 0.0, 0.0)
+	f.Add(uint8(2), int64(7), int64(0), 1.0, 1, 1.0, 1.0, uint8(1), int64(7), int64(0), 1.0, 1, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T,
+		kindA uint8, roundA, durA int64, fracA float64, opA int, biasA, probA float64,
+		kindB uint8, roundB, durB int64, fracB float64, opB int, biasB, probB float64,
+	) {
+		events := []Event{
+			{Kind: Kind(kindA), Round: roundA, Duration: durA, Fraction: fracA, Opinion: opA, Bias: biasA, Prob: probA},
+			{Kind: Kind(kindB), Round: roundB, Duration: durB, Fraction: fracB, Opinion: opB, Bias: biasB, Prob: probB},
+		}
+		s, err := New(events...)
+		if err != nil {
+			return // invalid inputs must be rejected, not applied
+		}
+		if s.Empty() {
+			t.Fatal("validated two-event schedule is empty")
+		}
+		if s.Horizon() < 1 {
+			t.Fatalf("horizon %d < 1 for %v", s.Horizon(), s)
+		}
+
+		const n = 33
+		g := rng.New(uint64(roundA)*31 + uint64(roundB))
+		ops := make([]uint8, n)
+		for src := 0; src <= 1; src++ {
+			ops[0] = uint8(src)
+			lo, hi := int64(src), int64(n-1+src)
+			x := lo + (hi-lo)/2
+			maxT := s.Horizon() + 1
+			if maxT > 64 {
+				maxT = 64
+			}
+			for tr := int64(1); tr <= maxT; tr++ {
+				if q := s.OmitProb(tr); q < 0 || q > 1 {
+					t.Fatalf("omit prob %v", q)
+				}
+				if op := s.SourceOpinion(tr, src); op != 0 && op != 1 {
+					t.Fatalf("source opinion %d", op)
+				}
+				ones, zeros := s.Stubborn(tr, n)
+				if ones < 0 || zeros < 0 || ones+zeros > n-1 {
+					t.Fatalf("stubborn counts %d,%d", ones, zeros)
+				}
+				x = s.PerturbCount(tr, n, src, x, g)
+				if x < lo || x > hi {
+					t.Fatalf("count %d escaped [%d,%d] at round %d of %v", x, lo, hi, tr, s)
+				}
+				s.PerturbAgents(tr, ops, g)
+				if ops[0] != uint8(src) {
+					t.Fatalf("agent hook rewrote the source at round %d of %v", tr, s)
+				}
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // denseCacheLimit bounds the population size for which the cache
@@ -30,6 +31,27 @@ type AdoptCache struct {
 	sparse map[int64]cachedPair
 
 	hits, misses uint64
+
+	// busy flags an in-flight Probs call while the package guard is on;
+	// see SetAdoptCacheGuard.
+	busy atomic.Int32
+}
+
+// adoptCacheGuard enables the concurrent-misuse assertion in Probs.
+var adoptCacheGuard atomic.Bool
+
+// SetAdoptCacheGuard toggles a debug assertion that catches the one
+// forbidden use of AdoptCache: two goroutines sharing a cache. While on,
+// Probs atomically claims the cache for the duration of the call and
+// panics with a diagnostic — before the racing map/slice access can
+// corrupt anything — if the cache is already claimed. The previous
+// setting is returned so tests can restore it.
+//
+// The guard costs one atomic load per lookup when off and a CAS pair when
+// on; it is meant for tests (notably under -race) and debugging sessions,
+// not for steady-state sweeps.
+func SetAdoptCacheGuard(on bool) (prev bool) {
+	return adoptCacheGuard.Swap(on)
 }
 
 type cachedPair struct {
@@ -67,6 +89,12 @@ func (c *AdoptCache) N() int64 { return c.n }
 // Probs returns (P₀(x/n), P₁(x/n)), computing and memoizing them on first
 // use. It panics if x is outside [0, n].
 func (c *AdoptCache) Probs(x int64) (p0, p1 float64) {
+	if adoptCacheGuard.Load() {
+		if !c.busy.CompareAndSwap(0, 1) {
+			panic("protocol: AdoptCache.Probs called concurrently; an AdoptCache is single-goroutine — give each worker its own cache")
+		}
+		defer c.busy.Store(0)
+	}
 	if x < 0 || x > c.n {
 		panic(fmt.Sprintf("protocol: AdoptCache.Probs count %d outside [0,%d]", x, c.n))
 	}

@@ -1,0 +1,76 @@
+package protocol
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAdoptCacheGuardCatchesSharing: with the guard on, a second Probs
+// call arriving while one is in flight must panic with a diagnostic
+// instead of silently racing on the memo table. The in-flight call is
+// simulated deterministically by pre-claiming the busy flag.
+func TestAdoptCacheGuardCatchesSharing(t *testing.T) {
+	prev := SetAdoptCacheGuard(true)
+	defer SetAdoptCacheGuard(prev)
+
+	c := NewAdoptCache(Voter(1), 16)
+	c.busy.Store(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("concurrent Probs did not panic under the guard")
+		}
+	}()
+	c.Probs(4)
+}
+
+// TestAdoptCacheGuardOffIsInert: the busy flag is ignored while the guard
+// is off, so production sweeps pay only one atomic load per lookup.
+func TestAdoptCacheGuardOffIsInert(t *testing.T) {
+	prev := SetAdoptCacheGuard(false)
+	defer SetAdoptCacheGuard(prev)
+
+	c := NewAdoptCache(Voter(1), 16)
+	c.busy.Store(1) // a stale claim must not matter when the guard is off
+	p0, p1 := c.Probs(4)
+	if p0 != 0.25 || p1 != 0.25 {
+		t.Errorf("Probs = %v, %v; want 0.25, 0.25", p0, p1)
+	}
+}
+
+// TestAdoptCacheGuardReleasesAfterCall: the claim is scoped to one call,
+// so sequential use on a single goroutine is untouched by the guard.
+func TestAdoptCacheGuardReleasesAfterCall(t *testing.T) {
+	prev := SetAdoptCacheGuard(true)
+	defer SetAdoptCacheGuard(prev)
+
+	c := NewAdoptCache(Voter(1), 16)
+	for x := int64(0); x <= 16; x++ {
+		c.Probs(x)
+		c.Probs(x) // memoized second hit, still one claim per call
+	}
+	if hits, _ := c.Stats(); hits == 0 {
+		t.Error("memoization broken under the guard")
+	}
+}
+
+// TestAdoptCacheOnePerGoroutineContract documents the supported pattern —
+// one cache per worker goroutine — and, when run with -race, certifies it
+// clean: independent caches share nothing but the immutable rule.
+func TestAdoptCacheOnePerGoroutineContract(t *testing.T) {
+	prev := SetAdoptCacheGuard(true)
+	defer SetAdoptCacheGuard(prev)
+
+	rule := Voter(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := NewAdoptCache(rule, 64)
+			for i := int64(0); i < 1000; i++ {
+				c.Probs((seed + i*7) % 65)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"bitspread/internal/engine"
+)
+
+// TaskKey fingerprints everything that determines a replica's trajectory:
+// the task name, the full engine configuration (rule identity included),
+// the mode and the seed. Replicas is deliberately excluded so a journal
+// written for a shorter run remains a valid prefix when the same task is
+// re-run with more replicas. The key is an FNV-1a hash of a canonical
+// description, prefixed with the task name for human-readable journals.
+func TaskKey(t Task) string {
+	h := fnv.New64a()
+	c := &t.Config
+	fmt.Fprintf(h, "n=%d z=%d x0=%d max=%d mode=%d seed=%d", c.N, c.Z, c.X0, c.MaxRounds, t.Mode, t.Seed)
+	if c.Rule != nil {
+		g0, g1 := c.Rule.Tables()
+		fmt.Fprintf(h, " rule=%s ell=%d g0=%v g1=%v", c.Rule.Name(), c.Rule.SampleSize(), g0, g1)
+	}
+	if c.Faults != nil && !c.Faults.Empty() {
+		// fault.Schedule stringifies to its full event list, so two tasks
+		// share a key only when they inject the same perturbations.
+		fmt.Fprintf(h, " faults=%v", c.Faults)
+	}
+	return fmt.Sprintf("%s#%016x", t.Name, h.Sum64())
+}
+
+// journalEntry is one line of the JSONL checkpoint file: a finished replica
+// of a keyed task.
+type journalEntry struct {
+	Task    string        `json:"task"`
+	Replica int           `json:"replica"`
+	Result  engine.Result `json:"result"`
+}
+
+// Journal is an append-only JSONL checkpoint of completed replicas. Every
+// Record is flushed to the file before it returns, so a process killed
+// mid-sweep loses at most the replica in flight; reopening the same path
+// with resume=true replays the finished work instead of recomputing it.
+// A Journal is safe for concurrent use by the sim worker pool.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]map[int]engine.Result
+}
+
+// OpenJournal opens (or creates) the checkpoint file at path. With resume
+// set, existing entries are loaded and later served by Lookup; a malformed
+// final line — the signature of a write cut off by a kill — is dropped,
+// while corruption earlier in the file is an error. Without resume the
+// file is truncated and the run starts clean.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{done: map[string]map[int]engine.Result{}}
+	if resume {
+		if err := j.load(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sim: open journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load replays an existing journal file into the in-memory index. A
+// missing file is an empty journal.
+func (j *Journal) load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sim: read journal: %w", err)
+	}
+	lines := splitLines(data)
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(lines)-1 {
+				// Torn final write from an interrupted run; the replica it
+				// described will simply be recomputed.
+				return nil
+			}
+			return fmt.Errorf("sim: journal line %d corrupt: %w", i+1, err)
+		}
+		j.put(e.Task, e.Replica, e.Result)
+	}
+	return nil
+}
+
+// splitLines splits on '\n' without requiring a trailing newline.
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			lines = append(lines, data[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		lines = append(lines, data[start:])
+	}
+	return lines
+}
+
+func (j *Journal) put(task string, replica int, r engine.Result) {
+	m := j.done[task]
+	if m == nil {
+		m = map[int]engine.Result{}
+		j.done[task] = m
+	}
+	m[replica] = r
+}
+
+// Lookup returns the checkpointed result of the given replica, if one was
+// recorded (in this run or a resumed one).
+func (j *Journal) Lookup(task string, replica int) (engine.Result, bool) {
+	if j == nil {
+		return engine.Result{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.done[task][replica]
+	return r, ok
+}
+
+// Len returns the number of checkpointed replicas across all tasks.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, m := range j.done {
+		n += len(m)
+	}
+	return n
+}
+
+// Record checkpoints a finished replica, flushing the line to the file
+// before returning. Recording on a nil Journal is a no-op, so the sim
+// layer can thread an optional journal without branching.
+func (j *Journal) Record(task string, replica int, r engine.Result) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.put(task, replica, r)
+	if j.w == nil {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{Task: task, Replica: replica, Result: r})
+	if err != nil {
+		return fmt.Errorf("sim: journal encode: %w", err)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sim: journal write: %w", err)
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the underlying file. The in-memory index stays
+// readable, so Lookup keeps working after Close.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f, j.w = nil, nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -3,9 +3,16 @@
 // pool and aggregates convergence statistics. Replica seeds are derived
 // deterministically from the task seed before any goroutine starts, so
 // results are reproducible regardless of scheduling.
+//
+// The runner is hardened for long unattended sweeps: RunContext threads a
+// context.Context through every engine as a round-boundary halt check, a
+// replica that panics is recorded as Failed instead of killing the
+// process, and an optional Journal checkpoints every finished replica so
+// an interrupted sweep resumes where it stopped.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,16 +59,105 @@ type Task struct {
 	Seed     uint64
 }
 
+// ReplicaState classifies how one replica of a task ended.
+type ReplicaState uint8
+
+const (
+	// Done means the replica ran to its natural end (consensus or round
+	// cap) and its Result is a completed measurement.
+	Done ReplicaState = iota
+	// Failed means the replica panicked or returned an engine error; its
+	// Result is the zero value and the cause is in Outcome.Failures.
+	Failed
+	// Cancelled means the context was cancelled before the replica
+	// finished; its Result holds the partial trajectory.
+	Cancelled
+	// TimedOut is Cancelled where the cause was a context deadline.
+	TimedOut
+)
+
+// String implements fmt.Stringer.
+func (s ReplicaState) String() string {
+	switch s {
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	case TimedOut:
+		return "timed-out"
+	default:
+		return fmt.Sprintf("ReplicaState(%d)", int(s))
+	}
+}
+
+// ReplicaFailure records why one replica failed.
+type ReplicaFailure struct {
+	// Replica is the index of the failed replica within the task.
+	Replica int
+	// Err is the engine error, or a wrapped panic value.
+	Err error
+}
+
 // Outcome aggregates the replica results of a task.
 type Outcome struct {
 	Task    Task
 	Results []engine.Result
+	// States classifies each replica; nil when every replica completed,
+	// so fully-successful outcomes stay comparable across versions.
+	States []ReplicaState
+	// Failures lists the causes of Failed replicas, in replica order.
+	Failures []ReplicaFailure
+}
+
+// Counts tallies the replica states. completed + failed + cancelled +
+// timedOut always equals len(Results).
+func (o *Outcome) Counts() (completed, failed, cancelled, timedOut int) {
+	if o.States == nil {
+		return len(o.Results), 0, 0, 0
+	}
+	for _, s := range o.States {
+		switch s {
+		case Failed:
+			failed++
+		case Cancelled:
+			cancelled++
+		case TimedOut:
+			timedOut++
+		default:
+			completed++
+		}
+	}
+	return
 }
 
 // Run executes the task's replicas on at most workers goroutines
 // (workers <= 0 means GOMAXPROCS). The task's Config.Record must be nil:
-// recording hooks are not safe to share across replicas.
+// recording hooks are not safe to share across replicas. Run never
+// cancels and keeps no checkpoint; it is RunContext with a background
+// context and no journal.
 func Run(t Task, workers int) (Outcome, error) {
+	return RunContext(context.Background(), t, workers, nil)
+}
+
+// RunContext executes the task's replicas on at most workers goroutines,
+// honouring ctx and checkpointing into journal (both optional).
+//
+// Cancellation is polled by every engine at round boundaries, so workers
+// stop within one round of ctx ending; the partial Outcome classifies the
+// unfinished replicas as Cancelled (or TimedOut when the context died of
+// its deadline) and RunContext returns it together with ctx.Err().
+//
+// A replica that panics does not kill the process: the panic is recovered,
+// the replica is marked Failed and the cause recorded in
+// Outcome.Failures, and the remaining replicas keep running.
+//
+// With a non-nil journal, replicas already checkpointed under this task's
+// TaskKey are served from the journal without recomputation, and every
+// freshly finished replica is flushed to it before the run moves on — the
+// mechanism behind bitsweep's -resume.
+func RunContext(ctx context.Context, t Task, workers int, journal *Journal) (Outcome, error) {
 	if t.Replicas < 1 {
 		return Outcome{}, fmt.Errorf("sim: task %q has %d replicas", t.Name, t.Replicas)
 	}
@@ -71,6 +167,14 @@ func Run(t Task, workers int) (Outcome, error) {
 	run, err := runner(t.Mode)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+	}
+	// Fail the whole task on a bad configuration before spawning anything,
+	// rather than once per replica inside the pool.
+	if err := t.Config.Validate(); err != nil {
+		return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -87,72 +191,193 @@ func Run(t Task, workers int) (Outcome, error) {
 		seeds[i] = master.Uint64()
 	}
 
-	if t.Mode == Parallel {
-		return runParallelBatched(t, workers, seeds)
+	st := &taskState{
+		results: make([]engine.Result, t.Replicas),
+		states:  make([]ReplicaState, t.Replicas),
+		errs:    make([]error, t.Replicas),
+		ctx:     ctx,
+		journal: journal,
+	}
+	if journal != nil {
+		st.key = TaskKey(t)
 	}
 
-	results := make([]engine.Result, t.Replicas)
-	errs := make([]error, t.Replicas)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = run(t.Config, rng.New(seeds[i]))
-			}
-		}()
-	}
+	// Serve checkpointed replicas from the journal; only the rest run.
+	var pending []int
 	for i := 0; i < t.Replicas; i++ {
-		next <- i
+		if r, ok := journal.Lookup(st.key, i); ok {
+			st.results[i] = r
+			continue
+		}
+		pending = append(pending, i)
 	}
-	close(next)
-	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+	cfg := t.Config
+	if ctx.Done() != nil {
+		caller := cfg.Halt
+		cfg.Halt = func() bool {
+			return ctx.Err() != nil || (caller != nil && caller())
 		}
 	}
-	return Outcome{Task: t, Results: results}, nil
+
+	if len(pending) > 0 {
+		if t.Mode == Parallel {
+			runParallelBatched(cfg, st, pending, seeds, workers)
+		} else {
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range next {
+						res, err := runRecovered(run, cfg, rng.New(seeds[i]))
+						st.classify(i, res, err)
+					}
+				}()
+			}
+			for _, i := range pending {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+		}
+	}
+
+	return st.outcome(t)
 }
 
-// runParallelBatched fans Parallel-mode replicas out as contiguous chunks,
-// one engine.RunParallelReplicas batch per worker, so all replicas of a
-// chunk advance in lockstep and share one memoized adopt-probability cache.
-// Per-replica seeds are the same ones the unbatched path would use and the
-// batched engine reproduces RunParallel exactly, so outcomes are identical
-// to running each replica on its own — just cheaper by a factor of the
-// cache hit rate on the O(ℓ) Eq. 4 sums.
-func runParallelBatched(t Task, workers int, seeds []uint64) (Outcome, error) {
-	results := make([]engine.Result, t.Replicas)
-	errs := make([]error, workers)
+// taskState is the shared mutable state of one RunContext call. Workers
+// write disjoint replica slots, so only the journal needs locking (it has
+// its own mutex).
+type taskState struct {
+	results []engine.Result
+	states  []ReplicaState
+	errs    []error
+	ctx     context.Context
+	journal *Journal
+	key     string
+
+	mu         sync.Mutex
+	journalErr error
+}
+
+// classify files one finished replica: state, failure cause, checkpoint.
+func (st *taskState) classify(i int, res engine.Result, err error) {
+	switch {
+	case err != nil:
+		st.states[i] = Failed
+		st.errs[i] = err
+	case res.Interrupted:
+		if st.ctx.Err() == context.DeadlineExceeded {
+			st.states[i] = TimedOut
+		} else {
+			st.states[i] = Cancelled
+		}
+		st.results[i] = res
+	default:
+		st.results[i] = res
+		if st.journal != nil {
+			if jerr := st.journal.Record(st.key, i, res); jerr != nil {
+				st.mu.Lock()
+				if st.journalErr == nil {
+					st.journalErr = jerr
+				}
+				st.mu.Unlock()
+			}
+		}
+	}
+}
+
+// outcome assembles the final Outcome and decides the returned error.
+func (st *taskState) outcome(t Task) (Outcome, error) {
+	out := Outcome{Task: t, Results: st.results}
+	clean := true
+	for i, s := range st.states {
+		if s == Done {
+			continue
+		}
+		clean = false
+		if s == Failed {
+			out.Failures = append(out.Failures, ReplicaFailure{Replica: i, Err: st.errs[i]})
+		}
+	}
+	if !clean {
+		out.States = st.states
+	}
+	if st.journalErr != nil {
+		return out, fmt.Errorf("sim: task %q: %w", t.Name, st.journalErr)
+	}
+	if err := st.ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// runRecovered invokes one engine run, converting a panic into an error so
+// a corrupted replica cannot take down the whole sweep.
+func runRecovered(run func(engine.Config, *rng.RNG) (engine.Result, error), cfg engine.Config, g *rng.RNG) (res engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = engine.Result{}
+			err = fmt.Errorf("replica panicked: %v", r)
+		}
+	}()
+	return run(cfg, g)
+}
+
+// runParallelBatched fans Parallel-mode replicas out as contiguous chunks
+// of the pending list, one engine.RunParallelReplicas batch per worker, so
+// all replicas of a chunk advance in lockstep and share one memoized
+// adopt-probability cache. Per-replica seeds are the same ones the
+// unbatched path would use and the batched engine reproduces RunParallel
+// exactly, so outcomes are identical to running each replica on its own —
+// just cheaper by a factor of the cache hit rate on the O(ℓ) Eq. 4 sums.
+//
+// A panic inside a batch poisons the whole chunk's shared state, so the
+// chunk falls back to bit-identical per-replica RunParallel runs, each
+// individually recovered; only the replica that actually panics is lost.
+func runParallelBatched(cfg engine.Config, st *taskState, pending []int, seeds []uint64, workers int) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * t.Replicas / workers
-		hi := (w + 1) * t.Replicas / workers
+		lo := w * len(pending) / workers
+		hi := (w + 1) * len(pending) / workers
 		if lo == hi {
 			continue
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(chunk []int) {
 			defer wg.Done()
-			batch, err := engine.RunParallelReplicas(t.Config, seeds[lo:hi])
-			if err != nil {
-				errs[w] = err
+			chunkSeeds := make([]uint64, len(chunk))
+			for k, i := range chunk {
+				chunkSeeds[k] = seeds[i]
+			}
+			batch, err := runBatchRecovered(cfg, chunkSeeds)
+			if err == nil {
+				for k, i := range chunk {
+					st.classify(i, batch[k], nil)
+				}
 				return
 			}
-			copy(results[lo:hi], batch)
-		}(w, lo, hi)
+			// Batch failed as a unit; isolate the fault per replica.
+			for _, i := range chunk {
+				res, rerr := runRecovered(engine.RunParallel, cfg, rng.New(seeds[i]))
+				st.classify(i, res, rerr)
+			}
+		}(pending[lo:hi])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Outcome{}, fmt.Errorf("sim: task %q: %w", t.Name, err)
+}
+
+// runBatchRecovered is RunParallelReplicas with panics converted to errors.
+func runBatchRecovered(cfg engine.Config, seeds []uint64) (rs []engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rs = nil
+			err = fmt.Errorf("batch panicked: %v", r)
 		}
-	}
-	return Outcome{Task: t, Results: results}, nil
+	}()
+	return engine.RunParallelReplicas(cfg, seeds)
 }
 
 // runner maps a mode to its engine entry point.
