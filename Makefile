@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race fuzz-fault ci bench bench-engines
+.PHONY: build test verify vet-race fuzz-fault bench-smoke ci bench bench-engines bench-agents
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,12 @@ vet-race:
 fuzz-fault:
 	$(GO) test -fuzz=FuzzSchedule -fuzztime=10s -run '^$$' ./internal/fault/
 
-ci: verify vet-race fuzz-fault
+# Bench smoke: compile and run each agent-engine micro-benchmark once so
+# a broken benchmark body fails CI rather than the next perf run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
+
+ci: verify vet-race fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).
@@ -38,4 +43,11 @@ bench:
 # cached vs. uncached batched stepping, appending one JSON record to
 # BENCH_engines.json so perf history accumulates across commits.
 bench-engines:
-	$(GO) run ./cmd/bitbench -out BENCH_engines.json
+	$(GO) run ./cmd/bitbench -suite engines -out BENCH_engines.json
+
+# Agent-engine comparison at the acceptance size n = 2²⁰: literal
+# byte-per-opinion body vs. bit-packed fast path vs. aggregated
+# opinion-class engine, appending one JSON record (with pack_speedup and
+# agg_speedup fields) to BENCH_engines.json.
+bench-agents:
+	$(GO) run ./cmd/bitbench -suite agents -n 1048576 -out BENCH_engines.json

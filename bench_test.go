@@ -141,11 +141,13 @@ func BenchmarkEngineAblation(b *testing.B) {
 	})
 }
 
-// BenchmarkRunAgents compares the serial agent engine against the sharded
-// one on the acceptance instance n = 2¹⁸, ℓ = 3. The sharded variant
-// splits each round over GOMAXPROCS goroutines with independent
-// split-derived streams; on a W-core machine it should deliver ≥ 2×
-// the serial throughput (reported as agent updates per second).
+// BenchmarkRunAgents compares the agent-engine variants on the
+// acceptance instance n = 2¹⁸, ℓ = 3: the historical byte-per-opinion
+// body (literal), its bit-packed fast path (packed, the RunAgents
+// default), the GOMAXPROCS-sharded packed engine, and the aggregated
+// opinion-class engine which collapses the round to O(classes·ℓ)
+// multinomial/binomial splits (DESIGN.md §10). Throughput is reported
+// as agent updates per second where the engine performs per-agent work.
 func BenchmarkRunAgents(b *testing.B) {
 	const n = 1 << 18
 	cfg := bitspread.Config{
@@ -168,9 +170,19 @@ func BenchmarkRunAgents(b *testing.B) {
 		}
 		b.ReportMetric(float64(updates)/b.Elapsed().Seconds()/1e6, "Mupdates/s")
 	}
-	b.Run("serial", func(b *testing.B) { run(b, bitspread.AgentOptions{}) })
+	b.Run("literal", func(b *testing.B) { run(b, bitspread.AgentOptions{Unpacked: true}) })
+	b.Run("packed", func(b *testing.B) { run(b, bitspread.AgentOptions{}) })
 	b.Run("sharded", func(b *testing.B) {
 		run(b, bitspread.AgentOptions{Shards: runtime.GOMAXPROCS(0)})
+	})
+	b.Run("aggregated", func(b *testing.B) {
+		g := bitspread.NewRNG(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bitspread.RunAggregated(cfg, g); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -122,6 +122,9 @@ var (
 	RunParallelReplicas = engine.RunParallelReplicas
 	RunSequential       = engine.RunSequential
 	RunAgents           = engine.RunAgents
+	RunAggregated       = engine.RunAggregated
+	RunAgentsAuto       = engine.RunAgentsAuto
+	CanAggregate        = engine.CanAggregate
 	StepCount           = engine.StepCount
 	StepCountBatch      = engine.StepCountBatch
 	SequentialStep      = engine.SequentialStep
@@ -228,6 +231,7 @@ const (
 	ModeParallel   = sim.Parallel
 	ModeSequential = sim.Sequential
 	ModeAgentLevel = sim.AgentLevel
+	ModeAggregated = sim.Aggregated
 )
 
 // RunTask executes a Monte-Carlo task over seeded replicas.

@@ -1,9 +1,14 @@
 // Command bitbench is the engine benchmark smoke runner: it times the hot
-// paths of the simulation stack — the serial vs. sharded agent engine and
-// the cached vs. uncached batched count engine — and appends one JSON
-// record per invocation to a trajectory file (default BENCH_engines.json),
-// so performance across commits accumulates into a machine-readable
-// history.
+// paths of the simulation stack — the literal vs. bit-packed vs.
+// aggregated agent engines, the serial vs. sharded agent engine and the
+// cached vs. uncached batched count engine — and appends one JSON record
+// per invocation to a trajectory file (default BENCH_engines.json), so
+// performance across commits accumulates into a machine-readable history.
+//
+// Benchmarks run at -gomaxprocs (default NumCPU, recorded per run: earlier
+// trajectory entries measured shard speedups at GOMAXPROCS=1, which
+// undersold sharding). -cpuprofile/-memprofile write pprof profiles of the
+// run, so engine hot paths can be profiled without a separate harness.
 //
 // SIGINT/SIGTERM stop the run at the next benchmark boundary and still
 // flush a record with the measurements taken so far (flagged
@@ -12,8 +17,10 @@
 // Examples:
 //
 //	bitbench                               # defaults, appends to BENCH_engines.json
+//	bitbench -suite agents -n 1048576      # literal vs packed vs aggregated at n=2²⁰
 //	bitbench -n 262144 -budget 500ms       # bigger instance, longer timing windows
 //	bitbench -out - -budget 20ms           # quick look, write the record to stdout
+//	bitbench -suite agents -cpuprofile cpu.pb.gz   # profile the agent engines
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -65,6 +73,11 @@ type record struct {
 	// CacheSpeedup maps ℓ to uncached/cached time per replica-round.
 	ShardSpeedup float64            `json:"shard_speedup,omitempty"`
 	CacheSpeedup map[string]float64 `json:"cache_speedup"`
+	// PackSpeedup is unpacked-literal/bit-packed time per run and
+	// AggSpeedup is unpacked-literal/aggregated time per run, both from
+	// the agents suite.
+	PackSpeedup float64 `json:"pack_speedup,omitempty"`
+	AggSpeedup  float64 `json:"agg_speedup,omitempty"`
 	// Interrupted marks a record flushed after SIGINT/SIGTERM: the
 	// benchmarks map holds only what finished before the signal.
 	Interrupted bool `json:"interrupted,omitempty"`
@@ -73,11 +86,15 @@ type record struct {
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bitbench", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "BENCH_engines.json", "trajectory file to append the JSON record to (- for stdout)")
-		n        = fs.Int64("n", 1<<16, "population size for the benchmarks")
-		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "shard count for the sharded agent benchmark")
-		replicas = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
-		budget   = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
+		out        = fs.String("out", "BENCH_engines.json", "trajectory file to append the JSON record to (- for stdout)")
+		n          = fs.Int64("n", 1<<16, "population size for the benchmarks")
+		shards     = fs.Int("shards", runtime.NumCPU(), "shard count for the sharded agent benchmark")
+		replicas   = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
+		budget     = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
+		maxProcs   = fs.Int("gomaxprocs", runtime.NumCPU(), "GOMAXPROCS for the benchmark run (recorded in the output)")
+		suite      = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), all")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,8 +102,27 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *n < 4 {
 		return fmt.Errorf("population %d too small", *n)
 	}
+	switch *suite {
+	case "engines", "agents", "all":
+	default:
+		return fmt.Errorf("unknown suite %q (want engines, agents or all)", *suite)
+	}
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rec := record{
@@ -107,17 +143,33 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		bench func() measurement
 	}
 	ells := []int{1, 3, protocol.SqrtNLogN(1).Of(*n)}
-	specs := []benchSpec{
-		{"agents/serial", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{}, *budget) }},
-		{"agents/sharded", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{Shards: *shards}, *budget) }},
-	}
-	for _, ell := range ells {
-		rule := protocol.Minority(ell)
-		key := fmt.Sprintf("ell=%d", ell)
+	var specs []benchSpec
+	if *suite != "engines" {
 		specs = append(specs,
-			benchSpec{"batch/uncached/" + key, func() measurement { return benchBatch(ctx, rule, *n, *replicas, false, *budget) }},
-			benchSpec{"batch/cached/" + key, func() measurement { return benchBatch(ctx, rule, *n, *replicas, true, *budget) }},
+			benchSpec{"agents/literal", func() measurement {
+				return benchAgents(ctx, *n, engine.AgentOptions{Unpacked: true}, *budget)
+			}},
+			benchSpec{"agents/packed", func() measurement {
+				return benchAgents(ctx, *n, engine.AgentOptions{}, *budget)
+			}},
+			benchSpec{"agents/aggregated", func() measurement {
+				return benchAggregated(ctx, *n, *budget)
+			}},
 		)
+	}
+	if *suite != "agents" {
+		specs = append(specs,
+			benchSpec{"agents/serial", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{}, *budget) }},
+			benchSpec{"agents/sharded", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{Shards: *shards}, *budget) }},
+		)
+		for _, ell := range ells {
+			rule := protocol.Minority(ell)
+			key := fmt.Sprintf("ell=%d", ell)
+			specs = append(specs,
+				benchSpec{"batch/uncached/" + key, func() measurement { return benchBatch(ctx, rule, *n, *replicas, false, *budget) }},
+				benchSpec{"batch/cached/" + key, func() measurement { return benchBatch(ctx, rule, *n, *replicas, true, *budget) }},
+			)
+		}
 	}
 	for _, s := range specs {
 		if ctx.Err() != nil {
@@ -133,6 +185,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			rec.ShardSpeedup = serial.NsPerOp / sharded.NsPerOp
 		}
 	}
+	if literal, ok := rec.Benchmarks["agents/literal"]; ok {
+		if packed, ok := rec.Benchmarks["agents/packed"]; ok {
+			rec.PackSpeedup = literal.NsPerOp / packed.NsPerOp
+		}
+		if agg, ok := rec.Benchmarks["agents/aggregated"]; ok {
+			rec.AggSpeedup = literal.NsPerOp / agg.NsPerOp
+		}
+	}
 	for _, ell := range ells {
 		key := fmt.Sprintf("ell=%d", ell)
 		uncached, okU := rec.Benchmarks["batch/uncached/"+key]
@@ -144,6 +204,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	if err := flushRecord(w, *out, rec, ells); err != nil {
 		return err
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	if rec.Interrupted {
 		return fmt.Errorf("interrupted after %d of %d benchmarks (partial record flushed): %w",
@@ -174,18 +245,23 @@ func flushRecord(w io.Writer, out string, rec record, ells []int) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "appended %d benchmarks to %s", len(rec.Benchmarks), out)
+	fmt.Fprintf(w, "appended %d benchmarks to %s (gomaxprocs %d", len(rec.Benchmarks), out, rec.GoMaxProcs)
+	if rec.PackSpeedup > 0 {
+		fmt.Fprintf(w, ", packed %.2fx", rec.PackSpeedup)
+	}
+	if rec.AggSpeedup > 0 {
+		fmt.Fprintf(w, ", aggregated %.1fx", rec.AggSpeedup)
+	}
 	if rec.ShardSpeedup > 0 {
-		fmt.Fprintf(w, " (shard speedup %.2fx", rec.ShardSpeedup)
+		fmt.Fprintf(w, ", shard %.2fx", rec.ShardSpeedup)
 		for _, ell := range ells {
 			key := fmt.Sprintf("ell=%d", ell)
 			if v, ok := rec.CacheSpeedup[key]; ok {
 				fmt.Fprintf(w, ", cache %s %.2fx", key, v)
 			}
 		}
-		fmt.Fprint(w, ")")
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(w, ")")
 	return nil
 }
 
@@ -228,6 +304,27 @@ func benchAgents(ctx context.Context, n int64, opts engine.AgentOptions, budget 
 	return timeIt(ctx, budget, func(iters int) {
 		for i := 0; i < iters; i++ {
 			if _, err := engine.RunAgents(cfg, opts, g); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// benchAggregated times the aggregated opinion-class engine on the same
+// two-round instance as benchAgents, so agg_speedup is apples-to-apples
+// against agents/literal.
+func benchAggregated(ctx context.Context, n int64, budget time.Duration) measurement {
+	cfg := engine.Config{
+		N:         n,
+		Rule:      protocol.Minority(3),
+		Z:         1,
+		X0:        n / 2,
+		MaxRounds: 2,
+	}
+	g := rng.New(1)
+	return timeIt(ctx, budget, func(iters int) {
+		for i := 0; i < iters; i++ {
+			if _, err := engine.RunAggregated(cfg, g); err != nil {
 				panic(err)
 			}
 		}

@@ -44,8 +44,9 @@ func run(args []string, w io.Writer) error {
 		n         = fs.Int64("n", 1024, "population size (including sources)")
 		z         = fs.Int("z", 1, "correct opinion held by the source")
 		initSpec  = fs.String("init", "worst", "initial configuration: worst, balanced, adversarial, or an explicit count")
-		mode      = fs.String("mode", "parallel", "activation model: parallel, sequential, agents")
+		mode      = fs.String("mode", "parallel", "activation model: parallel, sequential, agents, aggregated")
 		shards    = fs.Int("shards", 1, "agent-engine shards (mode=agents; deterministic per seed+shards)")
+		unpacked  = fs.Bool("unpacked", false, "force the historical byte-per-opinion agent engine (mode=agents)")
 		rounds    = fs.Int64("rounds", 0, "round cap (0: default O(n log n))")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		every     = fs.Int64("trace", 0, "print the one-count every k rounds (0: off)")
@@ -129,7 +130,9 @@ func run(args []string, w io.Writer) error {
 	case "sequential":
 		res, err = engine.RunSequential(cfg, g)
 	case "agents":
-		res, err = engine.RunAgents(cfg, engine.AgentOptions{Shards: *shards}, g)
+		res, err = engine.RunAgents(cfg, engine.AgentOptions{Shards: *shards, Unpacked: *unpacked}, g)
+	case "aggregated", "aggregate":
+		res, err = engine.RunAggregated(cfg, g)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -16,6 +16,14 @@ type AgentOptions struct {
 	// select the serial engine, which reproduces the historical
 	// single-stream sequence exactly.
 	Shards int
+	// Unpacked forces the historical byte-per-opinion engine body instead
+	// of the bit-packed fast path (see packed.go). The two sample from
+	// the same per-round distribution — the packed path draws sample
+	// indices as 32-bit Lemire rejections, so realizations for a given
+	// seed differ — and each is deterministic in (seed, Config, Shards).
+	// The flag exists for benchmarks and equivalence tests, and for
+	// callers that need the historical realization for a fixed seed.
+	Unpacked bool
 }
 
 // effectiveShards resolves the shard count for a population of n agents:
@@ -40,19 +48,27 @@ func (o AgentOptions) effectiveShards(n int64) int {
 //
 // Cost is O(n·ℓ) per round, split across opts.Shards goroutines when
 // sharding is requested; the engine exists to cross-validate the exact
-// count-level engine and to host per-agent extensions.
+// count-level engine and to host per-agent extensions. Opinions are kept
+// in a bit-packed layout by default (same per-round distribution as the
+// historical byte-per-opinion body, which opts.Unpacked forces and
+// without-replacement sampling or n ≥ 2³² fall back to; see packed.go).
 func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	if shards := opts.effectiveShards(cfg.N); shards > 1 {
+	ell := cfg.Rule.SampleSize()
+	withoutReplacement := opts.WithoutReplacement && ell <= int(cfg.N)
+	shards := opts.effectiveShards(cfg.N)
+	if !opts.Unpacked && !withoutReplacement && cfg.N < packedMaxN {
+		return runAgentsPacked(cfg, shards, g)
+	}
+	if shards > 1 {
 		return runAgentsSharded(cfg, opts, shards, g)
 	}
 	absorbing := cfg.Rule.CheckProp3() == nil
 	target := consensusTarget(cfg.N, cfg.Z)
 	trap := wrongTrap(cfg.N, cfg.Z)
 	roundCap := cfg.maxRounds()
-	ell := cfg.Rule.SampleSize()
 	n := int(cfg.N)
 	faults := cfg.perturber()
 	horizon := faultHorizon(faults)
@@ -68,7 +84,7 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 	}
 
 	var sampler *distinctSampler
-	if opts.WithoutReplacement && ell <= n {
+	if withoutReplacement {
 		sampler = newDistinctSampler(n, ell)
 	}
 	for t := int64(1); t <= roundCap; t++ {
@@ -87,6 +103,7 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 		}
 		next[0] = uint8(src)
 		var count int64 = int64(next[0])
+		var sampled int64
 		for i := 1; i < pinnedEnd; i++ {
 			// Stubborn agents keep the opinion the boundary pinned them at.
 			next[i] = cur[i]
@@ -108,6 +125,7 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 					k += int(cur[g.Intn(n)])
 				}
 			}
+			sampled++
 			if g.Bernoulli(cfg.Rule.G(int(cur[i]), k)) {
 				next[i] = 1
 				count++
@@ -118,7 +136,7 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 		cur, next = next, cur
 		x = count
 		res.Rounds = t
-		res.Activations += cfg.N - 1
+		res.Activations += sampled
 		res.FinalCount = x
 		if x == trap {
 			res.HitWrongConsensus = true

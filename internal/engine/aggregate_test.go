@@ -1,0 +1,97 @@
+package engine_test
+
+import (
+	"testing"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/fault"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+func TestRunAggregatedVoterConverges(t *testing.T) {
+	cfg := engine.Config{N: 1 << 14, Rule: protocol.Voter(1), Z: 1, X0: 1}
+	res, err := engine.RunAggregated(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("aggregated Voter did not converge: %+v", res)
+	}
+	if res.FinalCount != cfg.N {
+		t.Errorf("final count %d, want %d", res.FinalCount, cfg.N)
+	}
+	if res.Shards != 0 {
+		t.Errorf("Shards = %d, want 0 (single-stream count-class engine)", res.Shards)
+	}
+	if res.Activations != res.Rounds*(cfg.N-1) {
+		t.Errorf("fault-free activations = %d, want rounds·(n-1) = %d",
+			res.Activations, res.Rounds*(cfg.N-1))
+	}
+}
+
+func TestRunAggregatedDeterministic(t *testing.T) {
+	cfg := engine.Config{
+		N: 4096, Rule: protocol.Minority(3), Z: 1, X0: 2048, MaxRounds: 50,
+		Faults: fault.Must(fault.StubbornFor(3, 5, 0.2, 0), fault.OmissionFor(10, 3, 0.4)),
+	}
+	a, err := engine.RunAggregated(cfg, rng.New(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.RunAggregated(cfg, rng.New(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunAggregatedValidates(t *testing.T) {
+	if _, err := engine.RunAggregated(engine.Config{N: 1}, rng.New(1)); err == nil {
+		t.Error("no error for N=1")
+	}
+}
+
+func TestRunAgentsAutoDispatch(t *testing.T) {
+	cfg := engine.Config{N: 512, Rule: protocol.Voter(1), Z: 1, X0: 256, MaxRounds: 5}
+	// Aggregatable options route to the class engine (Shards 0)…
+	res, err := engine.RunAgentsAuto(cfg, engine.AgentOptions{}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 0 {
+		t.Errorf("auto run used the literal engine (Shards=%d), want aggregated", res.Shards)
+	}
+	// …while per-agent identity falls back to the literal engine.
+	if engine.CanAggregate(engine.AgentOptions{WithoutReplacement: true}) {
+		t.Error("CanAggregate true for without-replacement sampling")
+	}
+	res, err = engine.RunAgentsAuto(cfg, engine.AgentOptions{WithoutReplacement: true}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Errorf("fallback run reports Shards=%d, want 1 (serial literal engine)", res.Shards)
+	}
+}
+
+// Total omission freezes the aggregated dynamics exactly as it freezes the
+// literal engine: the count cannot move and nobody samples.
+func TestRunAggregatedTotalOmission(t *testing.T) {
+	cfg := engine.Config{
+		N: 1000, Rule: protocol.Minority(3), Z: 1, X0: 500,
+		MaxRounds: 4, Faults: fault.Must(fault.OmissionFor(1, 4, 1)),
+	}
+	res, err := engine.RunAggregated(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalCount != 500 {
+		t.Errorf("count moved under total omission: %d", res.FinalCount)
+	}
+	if res.Activations != 0 {
+		t.Errorf("%d activations under total omission, want 0", res.Activations)
+	}
+}

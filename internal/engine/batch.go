@@ -89,6 +89,7 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 		live := active[:0]
 		for _, i := range active {
 			var x int64
+			sampled := cfg.N - 1
 			if faults != nil {
 				x = xs[i]
 				if src != srcPrev {
@@ -97,7 +98,7 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 				if faults.BoundaryAt(t) {
 					x = faults.PerturbCount(t, cfg.N, src, x, gs[i])
 				}
-				x = stepCountFaulty(nil, cache, faults, t, cfg.N, src, x, gs[i])
+				x, sampled = stepCountFaulty(nil, cache, faults, t, cfg.N, src, x, gs[i])
 			} else {
 				p0, p1 := cache.Probs(xs[i])
 				m1 := xs[i] - int64(cfg.Z)
@@ -108,7 +109,7 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 
 			res := &results[i]
 			res.Rounds = t
-			res.Activations += cfg.N - 1
+			res.Activations += sampled
 			res.FinalCount = x
 			if x == trap {
 				res.HitWrongConsensus = true

@@ -121,9 +121,13 @@ type Result struct {
 	// held (0 if already at X₀), or the number of rounds executed when the
 	// run did not converge.
 	Rounds int64
-	// Activations is the number of individual agent updates performed.
-	// In the parallel engine it is Rounds·(n-1); in the sequential engine
-	// each activation updates one agent.
+	// Activations is the number of individual agent updates actually
+	// performed: activations in which the agent drew its ℓ samples and
+	// redrew its opinion. Stubborn-pinned agents and agents whose update
+	// a fault schedule omitted perform no sampling and are not counted.
+	// Fault-free, every parallel round contributes n-1 and every
+	// sequential activation contributes 1, so the historical
+	// Rounds·(n-1) (resp. activation-count) reading still holds there.
 	Activations int64
 	// FinalCount is the one-count when the run stopped.
 	FinalCount int64

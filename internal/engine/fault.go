@@ -79,8 +79,10 @@ func faultBoundaryCount(f Perturber, t, n int64, z, srcPrev int, x int64, g *rng
 // updating agent's refresh is lost with probability OmitProb(t) (it keeps
 // its opinion). With no stubborn agents, no omission and src == z it draws
 // the same distribution as StepCount. Exactly one of rule/cache is used,
-// mirroring the uncached and batched engines.
-func stepCountFaulty(rule *protocol.Rule, cache *protocol.AdoptCache, f Perturber, t, n int64, src int, x int64, g *rng.RNG) int64 {
+// mirroring the uncached and batched engines. The second return value is
+// the number of agents that actually drew samples this round — the free,
+// non-omitted agents — which feeds Result.Activations.
+func stepCountFaulty(rule *protocol.Rule, cache *protocol.AdoptCache, f Perturber, t, n int64, src int, x int64, g *rng.RNG) (next, sampled int64) {
 	var p0, p1 float64
 	if cache != nil {
 		p0, p1 = cache.Probs(x)
@@ -107,13 +109,20 @@ func stepCountFaulty(rule *protocol.Rule, cache *protocol.AdoptCache, f Perturbe
 		keep1 = m1 - u1
 		m1, m0 = u1, u0
 	}
-	return int64(src) + s1 + keep1 + g.Binomial(m1, p1) + g.Binomial(m0, p0)
+	return int64(src) + s1 + keep1 + g.Binomial(m1, p1) + g.Binomial(m0, p0), m1 + m0
 }
 
 // sequentialStepFaulty is SequentialStep under active faults: the activated
 // agent may be stubborn (no change), its update may be omitted (no change),
-// and the source holds src.
-func sequentialStepFaulty(r *protocol.Rule, f Perturber, t, n int64, src int, x int64, g *rng.RNG) int64 {
+// and the source holds src. The second return value reports whether the
+// activated agent actually drew its samples — false when it was stubborn
+// or its update was omitted — which feeds Result.Activations.
+//
+// The single uniform is partitioned as [stubborn | omitted | down | up |
+// kept]: with pStub = (s1+s0)/(n-1) and omission probability q, the down
+// and up masses are (m_b/(n-1))·(1-q)·(rule term), exactly the marginals
+// of the pre-partition layout, so the transition law is unchanged.
+func sequentialStepFaulty(r *protocol.Rule, f Perturber, t, n int64, src int, x int64, g *rng.RNG) (int64, bool) {
 	p := float64(x) / float64(n)
 	s1, s0 := f.Stubborn(t, n)
 	m1 := float64(x - int64(src) - s1)
@@ -125,18 +134,25 @@ func sequentialStepFaulty(r *protocol.Rule, f Perturber, t, n int64, src int, x 
 		m0 = 0
 	}
 	nonSource := float64(n - 1)
-	update := 1 - f.OmitProb(t)
+	q := f.OmitProb(t)
+	update := 1 - q
+	pStub := float64(s1+s0) / nonSource
+	pOmit := (1 - pStub) * q
 
 	u := g.Float64()
+	if u < pStub+pOmit {
+		return x, false
+	}
+	base := pStub + pOmit
 	pDown := (m1 / nonSource) * (1 - r.AdoptProb(1, p)) * update
 	pUp := (m0 / nonSource) * r.AdoptProb(0, p) * update
 	switch {
-	case u < pDown:
-		return x - 1
-	case u < pDown+pUp:
-		return x + 1
+	case u < base+pDown:
+		return x - 1, true
+	case u < base+pDown+pUp:
+		return x + 1, true
 	default:
-		return x
+		return x, true
 	}
 }
 

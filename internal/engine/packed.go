@@ -1,0 +1,597 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+// This file is the bit-packed fast path of the literal agent engine:
+// opinions live in a []uint64 bitset (one bit per agent, 8× less memory
+// traffic than the historical []uint8 layout, so the whole population
+// stays cache-resident far longer), and randomness is consumed as a
+// stream of 32-bit halves cut from block-generated xoshiro words
+// (rng.FillUint64 keeps the generator state in registers for thousands
+// of outputs). Two round bodies share that stream:
+//
+//   - stepDet, for deterministic 0/1 rule tables in fault-free rounds,
+//     applies the aggregation insight per agent: conditioned on the
+//     current one-count x, every agent's observed one-count k is iid
+//     Binomial(ℓ, x/n), so one uniform word and an inverse-CDF
+//     threshold scan replace the ℓ random bitset lookups entirely, and
+//     a bitmask select replaces the (mispredicting) adoption branch.
+//
+//   - step, the general body (noisy tables, omission coins, pinned
+//     stubborn prefixes), samples indices literally: one half per index
+//     via Lemire's multiply-shift with rejection — exact for any bound
+//     below 2³², which is why the packed path is gated on n < 2³² —
+//     while coins splice two halves into a full word and compare it
+//     against a precomputed rng.BernoulliThreshold (0/1 sentinel
+//     entries consume nothing, like rng.Bernoulli's shortcuts).
+//
+// Both bodies draw each round's transition from the same law as the
+// historical byte-per-opinion engine, at the 53-bit granularity at
+// which rng.Bernoulli/rng.Binomial resolve probabilities everywhere in
+// the repo; the initial configuration is laid out by the same Floyd
+// subset-sampling walk. Realizations for a given seed differ from the
+// unpacked body's — spending less randomness per agent is the point —
+// so runs are reproducible per engine (same seed, Config, Shards ⇒
+// same Result) but not across the packed/unpacked pair; the χ²
+// equivalence suite (equivalence_chi_test.go) pins the distributional
+// agreement, under every fault family. AgentOptions.Unpacked forces
+// the historical body; without-replacement sampling and n ≥ 2³² fall
+// back to it on their own.
+const packedBufferWords = 1024
+
+// packedBufferHalves is the stream length in 32-bit units.
+const packedBufferHalves = 2 * packedBufferWords
+
+// packedMaxN is the exclusive population bound of the packed fast path:
+// Lemire-32 rejection is exact only for bounds that fit in 32 bits.
+const packedMaxN = int64(math.MaxUint32)
+
+// packedWords returns the number of 64-bit words holding n opinion bits.
+func packedWords(n int) int { return (n + 63) / 64 }
+
+// packedCount returns the number of one-bits in the opinion bitset.
+func packedCount(bs []uint64) int64 {
+	var c int
+	for _, w := range bs {
+		c += bits.OnesCount64(w)
+	}
+	return int64(c)
+}
+
+// packedGet returns opinion bit i.
+func packedGet(bs []uint64, i int) uint64 {
+	return (bs[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// packedSet stores opinion bit i.
+func packedSet(bs []uint64, i int, bit uint64) {
+	mask := uint64(1) << (uint(i) & 63)
+	if bit != 0 {
+		bs[i>>6] |= mask
+	} else {
+		bs[i>>6] &^= mask
+	}
+}
+
+// halfStream carries a generator's output as a block of raw words plus a
+// cursor in 32-bit halves (buf[pos>>1] >> 32·(pos&1)), refilled through
+// rng.FillUint64. The consumers — initialization, the round loops —
+// inline the cursor accesses directly; the struct only threads the
+// stream state between them.
+type halfStream struct {
+	g   *rng.RNG
+	buf [packedBufferWords]uint64
+	pos int // next 32-bit half
+}
+
+func newHalfStream(g *rng.RNG) *halfStream {
+	return &halfStream{g: g, pos: packedBufferHalves}
+}
+
+// packedInitialOpinions is initialOpinions on the packed layout: the
+// same Floyd subset-sampling walk, with the variates drawn from the
+// half stream. The draw loop is inlined (one lazy Lemire-32 per
+// accepted variate, like the round loop) because at X0 = n/2 the
+// initialization is a visible fraction of a short run.
+func packedInitialOpinions(cfg Config, s *halfStream) []uint64 {
+	n := int(cfg.N)
+	bs := make([]uint64, packedWords(n))
+	packedSet(bs, 0, uint64(cfg.Z))
+	onesToPlace := int(cfg.X0) - cfg.Z
+	m := n - 1 // candidate non-source slots, bits 1..n-1
+	buf := &s.buf
+	pos := s.pos
+	g := s.g
+	for j := m - onesToPlace; j < m; j++ {
+		bound := uint64(j + 1)
+		if pos == packedBufferHalves {
+			g.FillUint64(buf[:])
+			pos = 0
+		}
+		h := uint32(buf[pos>>1] >> uint((pos&1)<<5))
+		pos++
+		mm := uint64(h) * bound
+		if uint32(mm) < uint32(bound) {
+			rej := uint32(-uint32(bound)) % uint32(bound)
+			for uint32(mm) < rej {
+				if pos == packedBufferHalves {
+					g.FillUint64(buf[:])
+					pos = 0
+				}
+				h = uint32(buf[pos>>1] >> uint((pos&1)<<5))
+				pos++
+				mm = uint64(h) * bound
+			}
+		}
+		t := int(mm >> 32)
+		// Select j when slot t is already a member, t otherwise, without
+		// a branch: the membership bit is unpredictable (≈X0/n of the
+		// walk hits a member), so a data-dependent branch mispredicts
+		// its way through the whole initialization.
+		b := (bs[(1+t)>>6] >> (uint(1+t) & 63)) & 1
+		sel := 1 + (t ^ ((t ^ j) & -int(b)))
+		bs[sel>>6] |= 1 << (uint(sel) & 63)
+	}
+	s.pos = pos
+	return bs
+}
+
+// packedBoundary applies the round-t fault boundary to the packed state:
+// the source bit takes its scheduled opinion, and boundary events rewrite
+// non-source opinions through an unpack → PerturbAgents → repack
+// round-trip. Boundary events are point events (rare rounds), so the O(n)
+// copy is paid only when opinions are actually rewritten; the scratch
+// slice is grown lazily on the first such round and reused after.
+func packedBoundary(f Perturber, t int64, z int, cur []uint64, n int, scratch []uint8, g *rng.RNG) (int, []uint8) {
+	src := f.SourceOpinion(t, z)
+	packedSet(cur, 0, uint64(src))
+	if f.BoundaryAt(t) {
+		if scratch == nil {
+			scratch = make([]uint8, n)
+		}
+		for i := 0; i < n; i++ {
+			scratch[i] = uint8(packedGet(cur, i))
+		}
+		f.PerturbAgents(t, scratch, g)
+		for w := range cur {
+			cur[w] = 0
+		}
+		for i := 0; i < n; i++ {
+			if scratch[i] != 0 {
+				cur[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	return src, scratch
+}
+
+// packedWorker is one agent range of the packed engine: the serial engine
+// is a single worker spanning [1, n) on the main stream; the sharded
+// engine runs one per shard on Split-derived streams, matching the
+// stream layout of the unpacked agentShard.
+type packedWorker struct {
+	lo, hi  int // agent index range [lo, hi)
+	s       *halfStream
+	count   int64
+	sampled int64
+	nParts  int
+	partIdx [2]int
+	partBit [2]uint64
+}
+
+// stepDet advances the worker's agent range one packed round in the
+// fully deterministic-rule, fault-free regime: no omission coins, no
+// pinned agents in range, and 0/1 adoption tables packed into
+// per-opinion bitmasks (bit k of det0/det1 is g^[0](k)/g^[1](k)).
+//
+// It applies the aggregation insight per agent: conditioned on the
+// current one-count x, each agent's observed one-count k is iid
+// Binomial(ℓ, x/n) — uniform sampling with replacement depends on the
+// configuration only through x — so instead of ℓ random bitset lookups
+// the round draws k directly by inverse CDF. kThr[m] holds the 53-bit
+// BernoulliThreshold of P(K ≤ m), so k = #{m : u ≥ kThr[m]} for one
+// uniform word u; the count comes out at the same Float64 granularity
+// at which rng.Bernoulli and rng.Binomial resolve their probabilities
+// everywhere else in the repo. The body is branchless past the buffer
+// refill: the borrow of a 64-bit subtract accumulates k, and a mask
+// select replaces the adoption branch on a random k, which mispredicts
+// half the time for minority-style rules.
+func (w *packedWorker) stepDet(cur, next []uint64, n int, det0, det1 uint64, kThr []uint64) {
+	s := w.s
+	buf := &s.buf
+	pos := s.pos
+	g := s.g
+	if pos&1 == 1 {
+		pos++ // align to a word boundary; one unused half is discarded
+	}
+	var count int64
+	w.nParts = 0
+	acc := uint64(0)
+	wordIdx := w.lo >> 6
+	xorMask := det0 ^ det1
+	if len(kThr) == 3 {
+		// ℓ = 3 is the canonical sample size of the repo's minority
+		// experiments; unrolling the threshold scan into three
+		// independent borrows removes the inner loop entirely. The walk
+		// is blocked per 64-agent word so the current-opinion word is
+		// loaded once per block (shifted out bit by bit) and the
+		// one-count is taken as one popcount per flushed word instead
+		// of a per-agent add.
+		t0, t1, t2 := kThr[0], kThr[1], kThr[2]
+		// pos stays even here (one whole word per agent), so a word
+		// cursor replaces the half cursor inside the loop.
+		wpos := pos >> 1
+		for i := w.lo; i < w.hi; {
+			blockEnd := (i | 63) + 1
+			if blockEnd > w.hi {
+				blockEnd = w.hi
+			}
+			// Refill per block, not per agent: if fewer words remain
+			// than the block needs, refresh the whole buffer and
+			// discard the unconsumed tail (≤ 63 fresh uniform words
+			// that no draw ever observed — the stream stays iid and
+			// the run stays deterministic, it just skips ahead).
+			if packedBufferWords-wpos < blockEnd-i {
+				g.FillUint64(buf[:])
+				wpos = 0
+			}
+			o := uint(i) & 63
+			cw := cur[wordIdx] >> o
+			for ; i < blockEnd; i++ {
+				u := buf[wpos]
+				wpos++
+				_, b0 := bits.Sub64(u, t0, 0)
+				_, b1 := bits.Sub64(u, t1, 0)
+				_, b2 := bits.Sub64(u, t2, 0)
+				k := uint(3 - (b0 + b1 + b2))
+				b := cw & 1
+				cw >>= 1
+				bit := ((det0 ^ (xorMask & (-b))) >> k) & 1
+				acc |= bit << o
+				o++
+			}
+			w.flushWord(next, wordIdx, acc, n)
+			count += int64(bits.OnesCount64(acc))
+			acc = 0
+			wordIdx++
+		}
+		pos = wpos << 1
+	} else {
+		for i := w.lo; i < w.hi; i++ {
+			if pos == packedBufferHalves {
+				g.FillUint64(buf[:])
+				pos = 0
+			}
+			u := buf[pos>>1]
+			pos += 2
+			k := uint(0)
+			for _, t := range kThr {
+				_, borrow := bits.Sub64(u, t, 0)
+				k += uint(1 - borrow)
+			}
+			b := (cur[i>>6] >> (uint(i) & 63)) & 1
+			// Select det1 when b == 1, det0 otherwise, without a branch.
+			bit := ((det0 ^ (xorMask & (-b))) >> k) & 1
+			acc |= bit << (uint(i) & 63)
+			count += int64(bit)
+			if i&63 == 63 || i == w.hi-1 {
+				w.flushWord(next, wordIdx, acc, n)
+				acc = 0
+				wordIdx++
+			}
+		}
+	}
+	s.pos = pos
+	w.count = count
+	w.sampled = int64(w.hi - w.lo)
+}
+
+// detMasks packs 0/1 threshold tables into the stepDet bitmasks; ok is
+// false when any entry is probabilistic (noisy rules) or ℓ ≥ 64.
+func detMasks(thr0, thr1 []uint64) (det0, det1 uint64, ok bool) {
+	if len(thr0) > 64 {
+		return 0, 0, false
+	}
+	for k := range thr0 {
+		switch thr0[k] {
+		case 0:
+		case rng.BernoulliAlways:
+			det0 |= 1 << uint(k)
+		default:
+			return 0, 0, false
+		}
+		switch thr1[k] {
+		case 0:
+		case rng.BernoulliAlways:
+			det1 |= 1 << uint(k)
+		default:
+			return 0, 0, false
+		}
+	}
+	return det0, det1, true
+}
+
+// step advances the worker's agent range one packed round. The draw path
+// is free of function calls: halves come straight out of the local block
+// (refilled in bulk), indices from inline Lemire-32 rejection, and coins
+// from inline threshold compares with the non-consuming 0 /
+// BernoulliAlways sentinels short-circuited.
+func (w *packedWorker) step(cur, next []uint64, n, ell int, thr0, thr1 []uint64, omitThr uint64, pinnedEnd int) {
+	bound := uint64(n)
+	rej := uint32(-uint32(n)) % uint32(n)
+	s := w.s
+	buf := &s.buf
+	pos := s.pos
+	g := s.g
+	var count, sampled int64
+	w.nParts = 0
+	acc := uint64(0)
+	wordIdx := w.lo >> 6
+	for i := w.lo; i < w.hi; i++ {
+		var bit uint64
+		if i >= pinnedEnd {
+			omitted := false
+			if omitThr != 0 {
+				if omitThr == rng.BernoulliAlways {
+					omitted = true
+				} else {
+					if pos == packedBufferHalves {
+						g.FillUint64(buf[:])
+						pos = 0
+					}
+					h := uint32(buf[pos>>1] >> uint((pos&1)<<5))
+					pos++
+					if pos == packedBufferHalves {
+						g.FillUint64(buf[:])
+						pos = 0
+					}
+					h2 := uint32(buf[pos>>1] >> uint((pos&1)<<5))
+					pos++
+					omitted = uint64(h)|uint64(h2)<<32 < omitThr
+				}
+			}
+			if !omitted {
+				k := 0
+				for sc := 0; sc < ell; sc++ {
+					if pos == packedBufferHalves {
+						g.FillUint64(buf[:])
+						pos = 0
+					}
+					h := uint32(buf[pos>>1] >> uint((pos&1)<<5))
+					pos++
+					m := uint64(h) * bound
+					for uint32(m) < rej {
+						if pos == packedBufferHalves {
+							g.FillUint64(buf[:])
+							pos = 0
+						}
+						h = uint32(buf[pos>>1] >> uint((pos&1)<<5))
+						pos++
+						m = uint64(h) * bound
+					}
+					j := int(m >> 32)
+					k += int((cur[j>>6] >> (uint(j) & 63)) & 1)
+				}
+				sampled++
+				thr := thr0[k]
+				if (cur[i>>6]>>(uint(i)&63))&1 == 1 {
+					thr = thr1[k]
+				}
+				switch thr {
+				case 0:
+					// bit stays 0 without consuming randomness.
+				case rng.BernoulliAlways:
+					bit = 1
+				default:
+					if pos == packedBufferHalves {
+						g.FillUint64(buf[:])
+						pos = 0
+					}
+					h := uint32(buf[pos>>1] >> uint((pos&1)<<5))
+					pos++
+					if pos == packedBufferHalves {
+						g.FillUint64(buf[:])
+						pos = 0
+					}
+					h2 := uint32(buf[pos>>1] >> uint((pos&1)<<5))
+					pos++
+					if uint64(h)|uint64(h2)<<32 < thr {
+						bit = 1
+					}
+				}
+				goto store
+			}
+		}
+		// Stubborn or omitted: the agent keeps its opinion.
+		bit = (cur[i>>6] >> (uint(i) & 63)) & 1
+	store:
+		acc |= bit << (uint(i) & 63)
+		count += int64(bit)
+		if i&63 == 63 || i == w.hi-1 {
+			w.flushWord(next, wordIdx, acc, n)
+			acc = 0
+			wordIdx++
+		}
+	}
+	s.pos = pos
+	w.count = count
+	w.sampled = sampled
+}
+
+// flushWord stores a completed word: directly when every live bit of the
+// word belongs to this worker, otherwise as a partial for the coordinator
+// to merge (bit 0 is the coordinator-owned source bit, bits ≥ n are dead).
+func (w *packedWorker) flushWord(next []uint64, wordIdx int, bitsWord uint64, n int) {
+	liveStart := wordIdx << 6
+	if liveStart == 0 {
+		liveStart = 1 // the source bit belongs to the coordinator
+	}
+	liveEnd := wordIdx<<6 + 63
+	if liveEnd > n-1 {
+		liveEnd = n - 1
+	}
+	if liveStart >= w.lo && liveEnd < w.hi {
+		next[wordIdx] = bitsWord
+		return
+	}
+	w.partIdx[w.nParts] = wordIdx
+	w.partBit[w.nParts] = bitsWord
+	w.nParts++
+}
+
+// runAgentsPacked is the bit-packed body of RunAgents, serial for
+// shards == 1 and sharded otherwise. Both are deterministic in
+// (seed, Config, shards) and draw from the same per-round distribution
+// as the unpacked bodies.
+func runAgentsPacked(cfg Config, shards int, g *rng.RNG) (Result, error) {
+	absorbing := cfg.Rule.CheckProp3() == nil
+	target := consensusTarget(cfg.N, cfg.Z)
+	trap := wrongTrap(cfg.N, cfg.Z)
+	roundCap := cfg.maxRounds()
+	ell := cfg.Rule.SampleSize()
+	n := int(cfg.N)
+	faults := cfg.perturber()
+	horizon := faultHorizon(faults)
+
+	// The main half stream serves initialization and, in the serial
+	// case, the round loop itself. Its block pre-draws words, so the
+	// generator may end up advanced past the variates actually consumed;
+	// chained runs on one generator should Split it per run.
+	main := newHalfStream(g)
+	cur := packedInitialOpinions(cfg, main)
+	next := make([]uint64, len(cur))
+	x := cfg.X0
+
+	res := Result{FinalCount: x, Shards: shards}
+	if x == target && absorbing && horizon == 0 {
+		res.Converged = true
+		return res, nil
+	}
+
+	g0, g1 := cfg.Rule.Tables()
+	thr0 := make([]uint64, ell+1)
+	thr1 := make([]uint64, ell+1)
+	for k := 0; k <= ell; k++ {
+		thr0[k] = rng.BernoulliThreshold(g0[k])
+		thr1[k] = rng.BernoulliThreshold(g1[k])
+	}
+	det0, det1, detOK := detMasks(thr0, thr1)
+	var pmf []float64
+	var kThr []uint64
+	if detOK {
+		pmf = make([]float64, ell+1)
+		kThr = make([]uint64, ell)
+	}
+
+	workers := make([]*packedWorker, shards)
+	if shards == 1 {
+		workers[0] = &packedWorker{lo: 1, hi: n, s: main}
+	} else {
+		for s := range workers {
+			lo := 1 + s*(n-1)/shards
+			hi := 1 + (s+1)*(n-1)/shards
+			// Each shard consumes its own Split-derived stream; boundary
+			// draws stay on the main stream, so rounds are reproducible
+			// for a given (seed, shards) regardless of scheduling.
+			workers[s] = &packedWorker{lo: lo, hi: hi, s: newHalfStream(g.Split())}
+		}
+	}
+
+	var scratch []uint8
+	var wg sync.WaitGroup
+	for t := int64(1); t <= roundCap; t++ {
+		if cfg.Halt != nil && cfg.Halt() {
+			res.Interrupted = true
+			return res, nil
+		}
+		src := cfg.Z
+		var omitThr uint64
+		pinnedEnd := 1
+		if faults != nil {
+			src, scratch = packedBoundary(faults, t, cfg.Z, cur, n, scratch, g)
+			if q := faults.OmitProb(t); q > 0 {
+				omitThr = rng.BernoulliThreshold(q)
+			}
+			s1, s0 := faults.Stubborn(t, cfg.N)
+			pinnedEnd = 1 + int(s1) + int(s0)
+		}
+		det := detOK && omitThr == 0 && pinnedEnd == 1
+		if det {
+			// The inverse-CDF thresholds condition on the one-count the
+			// agents actually sample from; a fault boundary may just have
+			// rewritten the bitset, so recount it then.
+			xs := x
+			if faults != nil {
+				xs = packedCount(cur)
+			}
+			protocol.SampleCountPMF(ell, float64(xs)/float64(cfg.N), pmf)
+			cdf := 0.0
+			for m := 0; m < ell; m++ {
+				cdf += pmf[m]
+				kThr[m] = rng.BernoulliThreshold(cdf)
+			}
+		}
+		if shards == 1 {
+			if det {
+				workers[0].stepDet(cur, next, n, det0, det1, kThr)
+			} else {
+				workers[0].step(cur, next, n, ell, thr0, thr1, omitThr, pinnedEnd)
+			}
+		} else {
+			for _, w := range workers {
+				wg.Add(1)
+				go func(w *packedWorker) {
+					defer wg.Done()
+					if det {
+						w.stepDet(cur, next, n, det0, det1, kThr)
+					} else {
+						w.step(cur, next, n, ell, thr0, thr1, omitThr, pinnedEnd)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+
+		// Merge the shared boundary words: zero them first (partials of
+		// distinct workers never overlap bit-wise, so OR order is free),
+		// then OR the partials and the coordinator-owned source bit.
+		for _, w := range workers {
+			for p := 0; p < w.nParts; p++ {
+				next[w.partIdx[p]] = 0
+			}
+		}
+		count := int64(0)
+		for _, w := range workers {
+			for p := 0; p < w.nParts; p++ {
+				next[w.partIdx[p]] |= w.partBit[p]
+			}
+			count += w.count
+			res.Activations += w.sampled
+		}
+		next[0] = next[0]&^1 | uint64(src)
+		count += int64(src)
+
+		cur, next = next, cur
+		x = count
+		res.Rounds = t
+		res.FinalCount = x
+		if x == trap {
+			res.HitWrongConsensus = true
+		}
+		if cfg.Record != nil {
+			cfg.Record(t, x)
+		}
+		if x == target && absorbing && t >= horizon {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"testing"
+
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+// Micro-benchmarks for the agent-engine bodies at a fixed round budget,
+// for profiling the packed fast path against the historical layout
+// without the bitbench harness around it. MaxRounds is high enough that
+// the Floyd initialization is amortized and the per-round loop dominates.
+func benchAgentBody(b *testing.B, opts AgentOptions) {
+	n := int64(1) << 20
+	cfg := Config{N: n, Rule: protocol.Minority(3), Z: 1, X0: n / 2, MaxRounds: 8}
+	g := rng.New(1)
+	b.SetBytes(8 * cfg.MaxRounds * n) // nominal: rounds × agents
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAgents(cfg, opts, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgentBodyUnpacked(b *testing.B) {
+	benchAgentBody(b, AgentOptions{Unpacked: true})
+}
+
+func BenchmarkAgentBodyPacked(b *testing.B) {
+	benchAgentBody(b, AgentOptions{})
+}

@@ -54,12 +54,14 @@ func RunParallel(cfg Config, g *rng.RNG) (Result, error) {
 		}
 		if faults != nil {
 			x, src = faultBoundaryCount(faults, t, cfg.N, cfg.Z, src, x, g)
-			x = stepCountFaulty(cfg.Rule, nil, faults, t, cfg.N, src, x, g)
+			var sampled int64
+			x, sampled = stepCountFaulty(cfg.Rule, nil, faults, t, cfg.N, src, x, g)
+			res.Activations += sampled
 		} else {
 			x = StepCount(cfg.Rule, cfg.N, cfg.Z, x, g)
+			res.Activations += cfg.N - 1
 		}
 		res.Rounds = t
-		res.Activations += cfg.N - 1
 		res.FinalCount = x
 		if x == trap {
 			res.HitWrongConsensus = true

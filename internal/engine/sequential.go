@@ -68,11 +68,15 @@ func RunSequential(cfg Config, g *rng.RNG) (Result, error) {
 			}
 		}
 		if faults != nil {
-			x = sequentialStepFaulty(cfg.Rule, faults, t, cfg.N, src, x, g)
+			var did bool
+			x, did = sequentialStepFaulty(cfg.Rule, faults, t, cfg.N, src, x, g)
+			if did {
+				res.Activations++
+			}
 		} else {
 			x = SequentialStep(cfg.Rule, cfg.N, cfg.Z, x, g)
+			res.Activations++
 		}
-		res.Activations = a
 		res.FinalCount = x
 		if x == trap {
 			res.HitWrongConsensus = true

@@ -13,6 +13,7 @@ type agentShard struct {
 	g       *rng.RNG
 	sampler *distinctSampler
 	count   int64 // ones written in the last round
+	sampled int64 // agents that drew samples in the last round
 }
 
 // runAgentsSharded is the multi-core body of RunAgents for shards >= 2.
@@ -106,7 +107,9 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 		cur, next = next, cur
 		x = count
 		res.Rounds = t
-		res.Activations += cfg.N - 1
+		for _, w := range workers {
+			res.Activations += w.sampled
+		}
 		res.FinalCount = x
 		if x == trap {
 			res.HitWrongConsensus = true
@@ -129,7 +132,7 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 // opinion without sampling.
 func (w *agentShard) step(cur, next []uint8, ell int, bounded rng.Bounded, thr0, thr1 []uint64, omitThr uint64, pinnedEnd int) {
 	g := w.g
-	var count int64
+	var count, sampled int64
 	for i := w.lo; i < w.hi; i++ {
 		if i < pinnedEnd {
 			next[i] = cur[i]
@@ -151,6 +154,7 @@ func (w *agentShard) step(cur, next []uint8, ell int, bounded rng.Bounded, thr0,
 				k += int(cur[bounded.Next(g)])
 			}
 		}
+		sampled++
 		thr := thr0
 		if cur[i] == 1 {
 			thr = thr1
@@ -163,4 +167,5 @@ func (w *agentShard) step(cur, next []uint8, ell int, bounded rng.Bounded, thr0,
 		}
 	}
 	w.count = count
+	w.sampled = sampled
 }

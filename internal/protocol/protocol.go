@@ -202,6 +202,58 @@ func (r *Rule) AdoptProb(b int, p float64) float64 {
 	return sum
 }
 
+// SampleCountPMF fills dst[k] with the Binomial(ℓ, p) probability of
+// observing exactly k ones among ℓ uniform samples when the global fraction
+// of ones is p — the distribution of the observation an agent conditions
+// its update on. dst must have ℓ+1 entries; p is clamped to [0, 1].
+//
+// The pmf is evaluated by the same mode-outward multiplicative recurrence
+// as AdoptProb (O(ℓ) with three Lgamma calls, underflow-safe because terms
+// only shrink away from the mode). The aggregated agent engine uses it to
+// split each opinion class over observation counts.
+func SampleCountPMF(ell int, p float64, dst []float64) {
+	if len(dst) != ell+1 {
+		panic(fmt.Sprintf("protocol: SampleCountPMF dst has %d entries, want ℓ+1 = %d", len(dst), ell+1))
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	switch {
+	case p == 0:
+		dst[0] = 1
+		return
+	case p == 1:
+		dst[ell] = 1
+		return
+	}
+
+	mode := int(float64(ell+1) * p)
+	if mode > ell {
+		mode = ell
+	}
+	logPmf := dist.LogChoose(int64(ell), int64(mode)) +
+		float64(mode)*math.Log(p) + float64(ell-mode)*math.Log1p(-p)
+	pmfMode := math.Exp(logPmf)
+	ratio := p / (1 - p)
+
+	dst[mode] = pmfMode
+	cur := pmfMode
+	for k := mode; k < ell && cur > 0; k++ {
+		cur *= float64(ell-k) / float64(k+1) * ratio
+		dst[k+1] = cur
+	}
+	cur = pmfMode
+	for k := mode; k > 0 && cur > 0; k-- {
+		cur *= float64(k) / float64(ell-k+1) / ratio
+		dst[k-1] = cur
+	}
+}
+
 // String implements fmt.Stringer.
 func (r *Rule) String() string {
 	return fmt.Sprintf("%s(ℓ=%d)", r.name, r.ell)

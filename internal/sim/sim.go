@@ -33,6 +33,10 @@ const (
 	Sequential
 	// AgentLevel uses the literal per-agent parallel engine.
 	AgentLevel
+	// Aggregated uses the opinion-class aggregated parallel engine:
+	// agent-level semantics (fault classes included) at count-level cost,
+	// exact in distribution.
+	Aggregated
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +48,8 @@ func (m Mode) String() string {
 		return "sequential"
 	case AgentLevel:
 		return "agent-level"
+	case Aggregated:
+		return "aggregated"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -391,6 +397,8 @@ func runner(m Mode) (func(engine.Config, *rng.RNG) (engine.Result, error), error
 		return func(cfg engine.Config, g *rng.RNG) (engine.Result, error) {
 			return engine.RunAgents(cfg, engine.AgentOptions{}, g)
 		}, nil
+	case Aggregated:
+		return engine.RunAggregated, nil
 	default:
 		return nil, fmt.Errorf("unknown mode %d", int(m))
 	}
