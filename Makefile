@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race fuzz-fault bench-smoke ci bench bench-engines bench-agents
+.PHONY: build test verify vet-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ vet-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/ ./internal/engine/ ./internal/fault/ ./internal/protocol/
 
+# Repo-specific static contracts (DESIGN.md §11): bitlint machine-checks
+# the determinism, probability-domain, and validate-before-work invariants
+# that `go vet` cannot see. Zero unsuppressed diagnostics is the bar;
+# every suppression carries a written justification.
+lint:
+	$(GO) run ./cmd/bitlint ./...
+
 # Fuzz smoke: every schedule the validator accepts must uphold the
 # Perturber contracts (counts in range, source slot untouched).
 fuzz-fault:
@@ -32,7 +39,7 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race fuzz-fault bench-smoke
+ci: verify vet-race lint fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).

@@ -126,6 +126,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 
 	rec := record{
+		//bitlint:wallclock record timestamp is provenance metadata; no simulation state depends on it
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
@@ -276,9 +277,9 @@ func timeIt(ctx context.Context, budget time.Duration, f func(iters int)) measur
 		batch = 1
 	)
 	for total < budget {
-		start := time.Now()
+		start := time.Now() //bitlint:wallclock benchmark timing measures the host, not the simulation
 		f(batch)
-		total += time.Since(start)
+		total += time.Since(start) //bitlint:wallclock benchmark timing measures the host, not the simulation
 		ops += int64(batch)
 		if ctx.Err() != nil {
 			break

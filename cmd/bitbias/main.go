@@ -114,6 +114,7 @@ func printPortrait(w io.Writer, a *bias.Analysis, width int) {
 	}
 	const rows = 9 // odd: a middle zero line
 	half := rows / 2
+	//bitlint:floatexact axis-scaling guard; only a bit-exact zero magnitude would divide by zero
 	if maxAbs == 0 {
 		maxAbs = 1
 	}

@@ -1,0 +1,137 @@
+// Command bitlint runs the repo's static-contract suite (internal/analysis)
+// over a set of packages and fails when any unsuppressed diagnostic
+// remains. It is the machine check behind `make lint`: determinism
+// (detrand, maporder), probability-domain (probrange), numeric-comparison
+// (floatcmp), and fail-fast (validatefirst) contracts all gate CI here
+// instead of living only in comments and dynamic suites.
+//
+// Usage:
+//
+//	bitlint [-json] [-show-suppressed] [packages...]
+//
+// Packages default to ./... and accept any `go list` pattern. The exit
+// status is non-zero when an unsuppressed diagnostic is found, so the
+// tool slots directly into Makefiles. -json emits every diagnostic —
+// including suppressed ones with their justifications — as one JSON
+// document for tooling; the human mode prints vet-style lines.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"bitspread/internal/analysis"
+)
+
+// errViolations distinguishes lint findings from operational failures.
+var errViolations = errors.New("bitlint: unsuppressed diagnostics")
+
+// jsonDiag is the stable -json wire form of one diagnostic.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Packages     []string   `json:"packages"`
+	Diagnostics  []jsonDiag `json:"diagnostics"`
+	Unsuppressed int        `json:"unsuppressed"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bitlint", flag.ContinueOnError)
+	fs.SetOutput(w)
+	jsonOut := fs.Bool("json", false, "emit diagnostics (including suppressed ones) as JSON")
+	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed diagnostics with their justifications")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		return err
+	}
+	analyzers := analysis.All()
+
+	var diags []analysis.Diagnostic
+	pkgPaths := make([]string, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		pkgPaths = append(pkgPaths, pkg.PkgPath)
+		ds, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Strings(pkgPaths)
+
+	unsuppressed := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			unsuppressed++
+		}
+	}
+
+	if *jsonOut {
+		rep := jsonReport{Packages: pkgPaths, Diagnostics: []jsonDiag{}, Unsuppressed: unsuppressed}
+		for _, d := range diags {
+			rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				Reason:     d.Reason,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			if d.Suppressed && !*showSuppressed {
+				continue
+			}
+			if d.Suppressed {
+				fmt.Fprintf(w, "%s: suppressed [%s]: %s (%s)\n", d.Pos, d.Reason, d.Message, d.Analyzer)
+			} else {
+				fmt.Fprintln(w, d)
+			}
+		}
+	}
+
+	if unsuppressed > 0 {
+		return fmt.Errorf("%w: %d finding(s) across %d package(s)", errViolations, unsuppressed, len(pkgs))
+	}
+	if !*jsonOut {
+		fmt.Fprintf(w, "bitlint: %d package(s) clean (%d suppressed justification(s))\n",
+			len(pkgs), len(diags)-unsuppressed)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

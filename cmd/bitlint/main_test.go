@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanTree is the merge gate in miniature: the repo's own packages
+// must carry zero unsuppressed bitlint diagnostics.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module for export data")
+	}
+	var out strings.Builder
+	if err := run([]string{"-C", "../..", "./..."}, &out); err != nil {
+		t.Fatalf("tree is not lint-clean: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("expected clean summary, got:\n%s", out.String())
+	}
+}
+
+// writeSeededModule creates a throwaway module whose internal/engine
+// package violates detrand (math/rand import), floatcmp (p == 0.5), and
+// maporder, to prove a violating diff fails the lint gate.
+func writeSeededModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module seeded.example\n\ngo 1.22\n",
+		"internal/engine/bad.go": `package engine
+
+import "math/rand"
+
+func step(p float64, m map[int]int) int {
+	if p == 0.5 {
+		return rand.Int()
+	}
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestSeededViolationsFail(t *testing.T) {
+	dir := writeSeededModule(t)
+	var out strings.Builder
+	err := run([]string{"-C", dir, "./..."}, &out)
+	if err == nil {
+		t.Fatalf("seeded violations not detected:\n%s", out.String())
+	}
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("expected lint findings, got operational error: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"detrand", "floatcmp", "maporder"} {
+		if !strings.Contains(got, "("+want+")") {
+			t.Errorf("missing %s finding in output:\n%s", want, got)
+		}
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	dir := writeSeededModule(t)
+	var out strings.Builder
+	err := run([]string{"-C", dir, "-json", "./..."}, &out)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("expected lint findings, got: %v", err)
+	}
+	var rep struct {
+		Packages     []string `json:"packages"`
+		Unsuppressed int      `json:"unsuppressed"`
+		Diagnostics  []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Unsuppressed == 0 || len(rep.Diagnostics) == 0 {
+		t.Fatalf("expected diagnostics in JSON report, got %+v", rep)
+	}
+	analyzers := map[string]bool{}
+	for _, d := range rep.Diagnostics {
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		analyzers[d.Analyzer] = true
+	}
+	for _, want := range []string{"detrand", "floatcmp", "maporder"} {
+		if !analyzers[want] {
+			t.Errorf("JSON report missing %s diagnostics", want)
+		}
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-C", "../..", "./no/such/dir/..."}, &out); err == nil {
+		t.Error("expected error for unknown package pattern")
+	}
+}

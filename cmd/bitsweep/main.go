@@ -112,7 +112,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return writeMarkdown(w, selected, opts)
 	}
 	for _, e := range selected {
-		start := time.Now()
+		start := time.Now() //bitlint:wallclock progress reporting only; experiment results never read it
 		res, err := e.Run(opts)
 		if err != nil {
 			return sweepErr(e.ID, err, *journal)
@@ -129,6 +129,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
 		fmt.Fprintln(w, res.Table.String())
 		fmt.Fprintf(w, "verdict: %s\n", res.Verdict)
+		//bitlint:wallclock progress reporting only; experiment results never read it
 		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 	return nil

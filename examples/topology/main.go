@@ -74,6 +74,7 @@ func main() {
 			sum += float64(res.Rounds)
 		}
 		mean := sum / reps
+		//bitlint:floatexact zero is the explicit not-yet-set sentinel; real means are >= 1 round
 		if base == 0 {
 			base = mean
 		}

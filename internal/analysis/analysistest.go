@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture type-checks the fixture package under testdata/src/<rel>,
+// runs one analyzer over it, and compares the unsuppressed diagnostics
+// against the fixture's `// want "regexp"` comments — the x/tools
+// analysistest convention, reimplemented on the stdlib loader. <rel> is
+// also the fixture's import path, so path-scoped analyzers (detrand,
+// maporder, validatefirst) see fixtures under e.g.
+// fix.example/internal/engine exactly as they see the real tree.
+//
+// Suppressed diagnostics (those covered by a //bitlint: justification)
+// are treated as silent: the suite asserts suppression works by fixtures
+// that carry a directive and no want comment on the same line.
+func RunFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", rel, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		t.Fatalf("fixture %s: no .go files", rel)
+	}
+
+	pkg, err := loadFixture(rel, filenames)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", rel, err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("fixture %s: %v", rel, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w == nil {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type wantExpectation struct{ re *regexp.Regexp }
+
+// wantRe extracts the quoted regexps of a `// want "a" "b"` comment.
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// collectWants indexes every want comment in the fixture by file and line.
+func collectWants(t *testing.T, pkg *Package) map[posKey][]*wantExpectation {
+	t.Helper()
+	wants := make(map[posKey][]*wantExpectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				key := posKey{filepath.Base(posn.Filename), posn.Line}
+				for _, pat := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pat, err)
+					}
+					wants[key] = append(wants[key], &wantExpectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of double-quoted or backquoted strings.
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			t.Fatalf("%s: malformed want clause %q", posn, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", posn, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", posn, raw, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// loadFixture type-checks one fixture package: its dependency closure is
+// resolved from the fixture files' own import lines via go list, so
+// fixtures may import both the standard library and the repo's real
+// packages (probrange fixtures call the real rng/protocol APIs).
+func loadFixture(pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	imports, err := fixtureImports(fset, filenames)
+	if err != nil {
+		return nil, err
+	}
+	var s *ExportSet
+	if len(imports) > 0 {
+		if s, err = NewExportSet(fset, ".", imports...); err != nil {
+			return nil, err
+		}
+	} else {
+		s = newExportSet(fset, nil)
+	}
+	return s.TypeCheck(pkgPath, filenames)
+}
+
+// fixtureImports collects the union of import paths across the files.
+func fixtureImports(fset *token.FileSet, filenames []string) ([]string, error) {
+	seen := make(map[string]bool)
+	for _, name := range filenames {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", name, err)
+			}
+			seen[path] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// DetRand enforces the randomness and wall-clock discipline behind the
+// "deterministic in (seed, Config, Shards)" engine contract (DESIGN §2,
+// §8): inside the deterministic core every random draw must flow through
+// *rng.RNG (a seeded SplitMix64/xoshiro hierarchy), so importing
+// math/rand, math/rand/v2, or crypto/rand there is an error with no
+// suppression — as is consulting the wall clock via time.Now/Since/Until,
+// which would thread scheduler state into simulation state. Outside the
+// core (the cmd tools, the experiment drivers) wall-clock reads are
+// legitimate metadata — timestamps in JSON records, progress lines — but
+// must carry a //bitlint:wallclock justification so a reviewer can see
+// the value never feeds a Result.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid ambient randomness and wall-clock reads: math/rand, crypto/rand, and time.Now/Since/Until " +
+		"are banned in the deterministic packages (randomness only via *rng.RNG); elsewhere wall-clock reads " +
+		"need a //bitlint:wallclock justification",
+	Run: runDetRand,
+}
+
+// bannedRandImports are the ambient randomness sources that break seed
+// reproducibility (or, for crypto/rand, cannot be seeded at all).
+var bannedRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// wallClockFuncs are the time-package reads that leak scheduler state.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetRand(p *Pass) error {
+	det := IsDeterministicPkg(p.Pkg.Path())
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if det && bannedRandImports[path] {
+				p.Reportf(imp.Pos(),
+					"import of %q in deterministic package %s: all randomness must flow through *rng.RNG",
+					path, p.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn == nil || funcPkgPath(fn) != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if det {
+				p.Reportf(call.Pos(),
+					"time.%s in deterministic package %s: engines must be pure functions of (seed, Config, Shards)",
+					fn.Name(), p.Pkg.Path())
+			} else {
+				p.ReportOrSuppress(call.Pos(), "wallclock",
+					"time.%s outside the deterministic core: justify with //bitlint:wallclock <reason> that the value is metadata, not simulation state",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags exact floating-point equality in production code. The
+// repo's numeric layers (bias constants from fix-point iterations,
+// Sturm-sequence root isolation, adoption-probability tables) converge to
+// values that are only meaningful to a tolerance; `==`/`!=` on them
+// encodes an accident of rounding as a contract. Every exact comparison
+// must either go through a tolerance helper or carry a
+// //bitlint:floatexact justification naming why exactness is correct
+// (sentinel values like 0 and 1 written verbatim into a table, equality
+// with a value produced by the very same expression, IEEE bit tricks).
+//
+// Two idioms pass without annotation: comparisons where both operands are
+// untyped constants (the compiler folds them; nothing is measured at run
+// time) and the self-comparison NaN test `x != x` / `x == x`, which is
+// exact by construction.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= on floating-point operands outside tests: use a tolerance helper or justify the exact " +
+		"comparison with //bitlint:floatexact <reason>; the NaN self-test x != x is always allowed",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.TypesInfo.Types[be.X]
+			yt, yok := p.TypesInfo.Types[be.Y]
+			if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+				return true
+			}
+			// Both sides compile-time constants: the comparison is folded,
+			// no runtime rounding is involved.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			// The NaN self-test idiom.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			p.ReportOrSuppress(be.Pos(), "floatexact",
+				"exact float comparison %s %s %s: use a tolerance or justify with //bitlint:floatexact <reason>",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked, non-test view of a Go package: what the
+// analyzers operate on. Test files are deliberately excluded — every
+// bitlint contract is scoped to production code, and the dynamic suites
+// (χ², fuzz) are free to compare floats exactly or consult wall clocks.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream. -export makes the go command compile each package and
+// report the path of its export data, which is what lets the loader
+// type-check offline with the standard library's gc importer: no module
+// proxy, no x/tools.
+func goList(dir string, patterns ...string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportSet maps import paths to gc export-data files, feeding the
+// lookup-based importer. One set is shared across many type-check calls
+// (all target packages, every analysistest fixture) so each dependency is
+// imported once.
+type ExportSet struct {
+	files map[string]string
+	imp   types.ImporterFrom
+	fset  *token.FileSet
+}
+
+// NewExportSet resolves the transitive dependencies of patterns in dir
+// and returns a set able to import any of them from export data.
+func NewExportSet(fset *token.FileSet, dir string, patterns ...string) (*ExportSet, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return newExportSet(fset, pkgs), nil
+}
+
+func newExportSet(fset *token.FileSet, pkgs []listedPkg) *ExportSet {
+	s := &ExportSet{files: make(map[string]string, len(pkgs)), fset: fset}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			s.files[p.ImportPath] = p.Export
+		}
+	}
+	s.imp = importer.ForCompiler(fset, "gc", s.lookup).(types.ImporterFrom)
+	return s
+}
+
+// lookup feeds export data to the gc importer.
+func (s *ExportSet) lookup(path string) (io.ReadCloser, error) {
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q (not in the dependency closure)", path)
+	}
+	return os.Open(f)
+}
+
+// TypeCheck parses and type-checks one package's files against the set.
+func (s *ExportSet) TypeCheck(pkgPath string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(s.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: s.imp}
+	tpkg, err := conf.Check(pkgPath, s.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      s.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Load lists patterns in dir (any directory inside the module) and
+// returns the type-checked target packages, skipping pure-test packages.
+// Dependencies are imported from gc export data, so the only toolchain
+// requirement is a working `go build`.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	s := newExportSet(fset, listed)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(p.GoFiles))
+		for i, g := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, g)
+		}
+		pkg, err := s.TypeCheck(p.ImportPath, names)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}

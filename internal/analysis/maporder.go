@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards the other half of the determinism contract: Go
+// randomizes map iteration order per run, so a `range` over a map inside
+// a deterministic package can reorder output rows, slice fills, or —
+// worst — RNG consumption, silently breaking the byte-identical-replay
+// guarantee that the seed-determinism regression test pins. Any map range
+// in the deterministic core must either be rewritten over a sorted or
+// indexed key set, or carry a //bitlint:maporder justification proving
+// the body is order-insensitive (pure counting, set union, max/min over a
+// commutative fold with no float accumulation).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid map iteration in the deterministic packages: randomized order breaks seed-reproducibility " +
+		"when the body feeds output, slices, or RNG draws; annotate provably order-insensitive bodies " +
+		"with //bitlint:maporder <reason>",
+	Run: runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	if !IsDeterministicPkg(p.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			p.ReportOrSuppress(rs.Pos(), "maporder",
+				"range over map (%s) in deterministic package %s: iteration order is randomized; "+
+					"iterate sorted keys or justify with //bitlint:maporder <reason>",
+				types.TypeString(tv.Type, nil), p.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ProbRange checks, at compile time, the probability-domain half of the
+// protocol formalism: g_n^[b](k) values and every p handed to the RNG's
+// Bernoulli/Binomial samplers are probabilities, so constant arguments
+// outside [0, 1] are definite bugs (protocol.New would reject them at run
+// time; the lint rejects them before anything runs). Non-constant
+// arguments that contain a floating-point division are flagged as
+// NaN-capable — 0/0 and x/0 both sail through a `p < 0 || p > 1` check —
+// unless the site carries a //bitlint:probok justification naming the
+// guard (clamped upstream, denominator proved non-zero, value produced by
+// AdoptProb which clamps internally).
+var ProbRange = &Analyzer{
+	Name: "probrange",
+	Doc: "constant probability arguments to rng.Binomial/Bernoulli* and protocol rule tables must lie in [0,1]; " +
+		"NaN-capable expressions (containing float division) passed as probabilities need a //bitlint:probok " +
+		"justification of the range guard",
+	Run: runProbRange,
+}
+
+// probParams maps rng.RNG methods and rng package functions to the
+// indices of their probability-valued arguments.
+var probParams = map[string][]int{
+	"Binomial":           {1},
+	"Bernoulli":          {0},
+	"BernoulliThreshold": {0},
+}
+
+// tableParams maps protocol constructors to the indices of their
+// []float64 probability-table arguments.
+var tableParams = map[string][]int{
+	"New":          {2, 3},
+	"MustNew":      {2, 3},
+	"NewSymmetric": {2},
+}
+
+func runProbRange(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgSuffix(funcPkgPath(fn), "internal/rng"):
+				for _, i := range probParams[fn.Name()] {
+					if i < len(call.Args) {
+						checkProbExpr(p, fn.Name(), call.Args[i])
+					}
+				}
+			case isPkgSuffix(funcPkgPath(fn), "internal/protocol"):
+				for _, i := range tableParams[fn.Name()] {
+					if i < len(call.Args) {
+						checkProbTable(p, fn.Name(), call.Args[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkProbExpr vets one probability-valued argument.
+func checkProbExpr(p *Pass, callee string, arg ast.Expr) {
+	tv, ok := p.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.Value != nil {
+		if v, bad := constOutsideUnit(tv.Value); bad {
+			p.Reportf(arg.Pos(),
+				"constant probability %v passed to %s is outside [0,1]", v, callee)
+		}
+		return
+	}
+	if div := findFloatDivision(p.TypesInfo, arg); div != nil {
+		p.ReportOrSuppress(arg.Pos(), "probok",
+			"NaN-capable probability for %s: %s divides floats and is passed unchecked; "+
+				"clamp it or justify with //bitlint:probok <reason>",
+			callee, types.ExprString(div))
+	}
+}
+
+// checkProbTable vets a composite-literal probability table element by
+// element; non-literal tables are built at run time and left to
+// protocol.New's own validation.
+func checkProbTable(p *Pass, callee string, arg ast.Expr) {
+	cl, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		tv, ok := p.TypesInfo.Types[el]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		if v, bad := constOutsideUnit(tv.Value); bad {
+			p.Reportf(el.Pos(),
+				"rule table entry %v passed to protocol.%s is outside [0,1]", v, callee)
+		}
+	}
+}
+
+// constOutsideUnit reports whether a numeric constant lies outside the
+// closed unit interval.
+func constOutsideUnit(v constant.Value) (float64, bool) {
+	fv := constant.ToFloat(v)
+	if fv.Kind() != constant.Float && fv.Kind() != constant.Int {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(fv)
+	return f, f < 0 || f > 1
+}
+
+// findFloatDivision returns the first floating-point division inside e
+// whose value is not itself constant-folded, or nil.
+func findFloatDivision(info *types.Info, e ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.QUO {
+			return true
+		}
+		tv, ok := info.Types[be]
+		if ok && tv.Value == nil && isFloat(tv.Type) {
+			found = be
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,17 @@
+// Fixture: outside the deterministic core wall-clock reads are metadata,
+// allowed only with a //bitlint:wallclock justification; ambient
+// randomness imports are not detrand's concern here.
+package tool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timestamps() int64 {
+	a := time.Now().Unix() // want "time.Now outside the deterministic core"
+	b := time.Now().Unix() //bitlint:wallclock run timestamp is metadata, not simulation state
+	//bitlint:wallclock
+	c := time.Now().Unix() // want "needs a justification" "time.Now outside the deterministic core"
+	return a + b + c + rand.Int63()
+}

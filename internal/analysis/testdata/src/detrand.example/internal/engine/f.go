@@ -1,0 +1,17 @@
+// Fixture: ambient randomness and wall-clock reads inside a package the
+// path-suffix rule classifies as deterministic core.
+package engine
+
+import (
+	crand "crypto/rand" // want `import of "crypto/rand" in deterministic package`
+	"math/rand"         // want `import of "math/rand" in deterministic package`
+	"time"
+)
+
+func ambient() (int64, time.Duration) {
+	t0 := time.Now() // want "time.Now in deterministic package"
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf)
+	n := rand.Int63()
+	return n, time.Since(t0) // want "time.Since in deterministic package"
+}

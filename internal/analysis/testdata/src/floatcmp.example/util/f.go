@@ -1,0 +1,39 @@
+// Fixture: exact float comparisons — flagged everywhere in production
+// code, with the NaN self-test, constant folds, int comparisons, and
+// annotated sentinels allowed.
+package util
+
+import "math"
+
+const eps = 1e-9
+
+func cmp(a, b float64, xs []float64) int {
+	n := 0
+	if a == b { // want "exact float comparison"
+		n++
+	}
+	if b != 0 { // want "exact float comparison"
+		n++
+	}
+	if a != a { // NaN self-test: allowed without annotation
+		n++
+	}
+	if 0.5 == 0.25*2 { // both operands constant-folded: allowed
+		n++
+	}
+	//bitlint:floatexact table sentinel written verbatim; bit-exact by construction
+	if xs[0] == 1 {
+		n++
+	}
+	//bitlint:floatexact
+	if a == 0 { // want "needs a justification" "exact float comparison"
+		n++
+	}
+	if math.Abs(a-b) < eps { // tolerance comparison: allowed
+		n++
+	}
+	if len(xs) == 0 { // integer comparison: allowed
+		n++
+	}
+	return n
+}

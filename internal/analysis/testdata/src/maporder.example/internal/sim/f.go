@@ -1,0 +1,19 @@
+// Fixture: map iteration inside the deterministic core.
+package sim
+
+func order(m map[string]int) (int, []string) {
+	total := 0
+	//bitlint:maporder pure count; addition over int is commutative
+	for _, v := range m {
+		total += v
+	}
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	nums := []int{1, 2, 3}
+	for _, v := range nums {
+		total += v
+	}
+	return total, keys
+}

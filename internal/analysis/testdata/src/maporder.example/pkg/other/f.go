@@ -1,0 +1,10 @@
+// Fixture: outside the deterministic core map iteration is unrestricted.
+package other
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Fixture: probability-domain checks against the real rng and protocol
+// APIs — constant arguments outside [0,1] and unchecked NaN-capable
+// divisions.
+package engine
+
+import (
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+func draws(g *rng.RNG, x, n float64) int64 {
+	total := int64(0)
+	if g.Bernoulli(0.5) { // in range: allowed
+		total++
+	}
+	if g.Bernoulli(1.5) { // want "outside"
+		total++
+	}
+	total += g.Binomial(10, -0.25) // want "outside"
+	total += g.Binomial(10, x/n)   // want "NaN-capable"
+	//bitlint:probok caller clamps x/n to the unit interval upstream
+	total += g.Binomial(10, x/n)
+	_ = rng.BernoulliThreshold(2)                                    // want "outside"
+	_ = protocol.MustNew("r", 1, []float64{0, 1.5}, []float64{0, 1}) // want `rule table entry 1.5`
+	_, _ = protocol.NewSymmetric("s", 1, []float64{-0.5, 1})         // want `rule table entry -0.5`
+	return total
+}

@@ -1,0 +1,71 @@
+// Fixture: exported Run* entry points in an engine-suffixed package must
+// reach a validate/Validate call before looping or spawning goroutines.
+package engine
+
+import "errors"
+
+type Config struct{ N int }
+
+func (c *Config) validate() error {
+	if c.N < 2 {
+		return errors.New("bad config")
+	}
+	return nil
+}
+
+type Result struct{ Rounds int }
+
+func RunGood(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	var r Result
+	for i := 0; i < cfg.N; i++ {
+		r.Rounds++
+	}
+	return r, nil
+}
+
+// RunDelegate validates through a same-package callee, the sim.Run ->
+// RunContext pattern.
+func RunDelegate(cfg Config) (Result, error) {
+	return runInner(cfg)
+}
+
+func runInner(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	return Result{}, nil
+}
+
+func RunBad(cfg Config) Result { // want "never reaches a Config validate"
+	var r Result
+	for i := 0; i < cfg.N; i++ {
+		r.Rounds++
+	}
+	return r
+}
+
+func RunLate(cfg Config) (Result, error) {
+	var r Result
+	for i := 0; i < cfg.N; i++ { // want "spawns work before validating"
+		r.Rounds++
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	return r, nil
+}
+
+func RunSpawnBad(cfg Config) error { // want "never reaches a Config validate"
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return nil
+}
+
+// unexported and non-Run functions are not entry points.
+func runHelper(cfg Config) int { return cfg.N }
+
+func Step(cfg Config) int { return cfg.N }

@@ -1,0 +1,11 @@
+// Fixture: Run* functions outside internal/engine and internal/sim are
+// not simulation entry points.
+package other
+
+func RunAnything(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}

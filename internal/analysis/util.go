@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method object a call expression
+// invokes, or nil when the callee is not a named function (conversions,
+// function-typed variables, built-ins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// funcPkgPath returns the import path of the package declaring f ("" for
+// builtins and method sets without a package).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isPkgSuffix reports whether path is exactly suffix or ends in
+// "/"+suffix, the same matching rule IsDeterministicPkg uses, so fixture
+// packages under synthetic module prefixes behave like the real tree.
+func isPkgSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// eachFunc walks every function and method declaration in the pass.
+func eachFunc(p *Pass, visit func(*ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}

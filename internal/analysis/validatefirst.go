@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ValidateFirst enforces the fail-fast contract on simulation entry
+// points: every exported Run* function in internal/engine and
+// internal/sim must reach a Config.Validate-style check (directly or
+// through a same-package callee, e.g. sim.Run delegating to RunContext)
+// before it spawns goroutines or enters its round loop. The contract is
+// what lets the sim layer reject a bad Task once instead of panicking in
+// every replica, and what keeps Perturber hooks from ever seeing an
+// inconsistent (N, X0, Z) triple. The check walks an AST-level call graph
+// restricted to the package under analysis: an entry point is compliant
+// when some call chain reaches a function whose body calls
+// validate/Validate, and the first such call site precedes the first `go`
+// statement and the first loop in the entry's own body.
+var ValidateFirst = &Analyzer{
+	Name: "validatefirst",
+	Doc: "exported engine.Run*/sim.Run* entry points must reach a Config validate/Validate call (transitively, " +
+		"within the package) before spawning goroutines or looping over rounds/replicas",
+	Run: runValidateFirst,
+}
+
+func runValidateFirst(p *Pass) error {
+	path := p.Pkg.Path()
+	if !isPkgSuffix(path, "internal/engine") && !isPkgSuffix(path, "internal/sim") {
+		return nil
+	}
+
+	// Index every function declaration by its object so calls resolve to
+	// bodies for the transitive search.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		if obj := p.TypesInfo.Defs[fd.Name]; obj != nil {
+			decls[obj] = fd
+		}
+	})
+
+	// validates reports whether fd's body reaches a validate/Validate
+	// call through same-package calls; seen breaks recursion cycles.
+	var validates func(fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool
+	validates = func(fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
+		if seen[fd] {
+			return false
+		}
+		seen[fd] = true
+		ok := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if isValidateCall(call) {
+				ok = true
+				return false
+			}
+			if fn := calleeFunc(p.TypesInfo, call); fn != nil && fn.Pkg() == p.Pkg {
+				if callee := decls[fn]; callee != nil && validates(callee, seen) {
+					ok = true
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		if fd.Recv != nil || !fd.Name.IsExported() || !strings.HasPrefix(fd.Name.Name, "Run") {
+			return
+		}
+		// Position of the first call whose chain reaches validation.
+		firstOK := token.Pos(-1)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if firstOK >= 0 {
+				return false
+			}
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if isValidateCall(call) {
+				firstOK = call.Pos()
+				return false
+			}
+			if fn := calleeFunc(p.TypesInfo, call); fn != nil && fn.Pkg() == p.Pkg {
+				if callee := decls[fn]; callee != nil && validates(callee, map[*ast.FuncDecl]bool{fd: true}) {
+					firstOK = call.Pos()
+					return false
+				}
+			}
+			return true
+		})
+		if firstOK < 0 {
+			p.Reportf(fd.Pos(),
+				"%s is an exported simulation entry point but never reaches a Config validate/Validate call",
+				fd.Name.Name)
+			return
+		}
+		// Work (goroutines, round/replica loops) must not precede it.
+		if work := firstWork(fd.Body); work != nil && work.Pos() < firstOK {
+			p.Reportf(work.Pos(),
+				"%s spawns work before validating its Config (validate call at %s)",
+				fd.Name.Name, p.Fset.Position(firstOK))
+		}
+	})
+	return nil
+}
+
+// isValidateCall matches calls to a function or method named validate or
+// Validate, the repo's configuration-check convention.
+func isValidateCall(call *ast.CallExpr) bool {
+	var name string
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return false
+	}
+	return name == "validate" || name == "Validate"
+}
+
+// firstWork returns the earliest goroutine launch or loop in body, if any.
+func firstWork(body *ast.BlockStmt) ast.Node {
+	var first ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.ForStmt, *ast.RangeStmt:
+			if first == nil || n.Pos() < first.Pos() {
+				first = n
+			}
+			return false
+		}
+		return true
+	})
+	return first
+}

@@ -116,6 +116,7 @@ func Polynomial(r *protocol.Rule) poly.Poly {
 	for k := 0; k <= ell; k++ {
 		g1 := r.G(1, k)
 		g0 := r.G(0, k)
+		//bitlint:floatexact g-table entries are caller-written constants; skipping only bit-exact zeros is conservative
 		if g1 == 0 && g0 == 0 {
 			continue
 		}

@@ -31,6 +31,7 @@ func regularizedGammaP(a, x float64) float64 {
 	switch {
 	case x < 0 || a <= 0:
 		return math.NaN()
+	//bitlint:floatexact P(a,0)=0 exactly; the series below handles every positive x, however small
 	case x == 0:
 		return 0
 	case x < a+1:

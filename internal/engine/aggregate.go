@@ -119,6 +119,7 @@ func splitAdopt(m int64, pmf, tbl []float64, g *rng.RNG) int64 {
 			cell = rem
 			rem = 0
 		} else {
+			//bitlint:probok branch guarded by remP > pmf[k] >= 0, so the ratio lies in [0,1)
 			cell = g.Binomial(rem, pmf[k]/remP)
 			rem -= cell
 			remP -= pmf[k]

@@ -55,6 +55,7 @@ func figure1Escape() Experiment {
 					traj = append(traj, x)
 					for t := int64(1); t <= limit; t++ {
 						// Driftless: every agent resamples uniformly.
+						//bitlint:probok x stays in [0,n] by construction and n >= 1, so the ratio is a probability
 						x = g.Binomial(n, float64(x)/float64(n))
 						traj = append(traj, x)
 						if float64(x) >= a3*float64(n) || float64(x) <= a1*float64(n) {

@@ -44,8 +44,8 @@ func TestValidateAccepts(t *testing.T) {
 		nil,
 		{ResetAt(1, 1, 0)},
 		{ResetAt(3, 0.5, 1), ChurnAt(5, 0.25, 0.5), OmissionFor(3, 10, 0.9)},
-		{StubbornFor(2, 4, 0.1, 0), ResetAt(3, 1, 1)}, // reset inside stubborn window
-		{SourceCrashFor(1, 8), SourceCrashFor(4, 8)},  // crash windows may overlap
+		{StubbornFor(2, 4, 0.1, 0), ResetAt(3, 1, 1)},          // reset inside stubborn window
+		{SourceCrashFor(1, 8), SourceCrashFor(4, 8)},           // crash windows may overlap
 		{StubbornFor(2, 3, 0.1, 1), StubbornFor(5, 3, 0.1, 0)}, // back-to-back windows
 	}
 	for _, events := range good {
@@ -84,10 +84,10 @@ func TestEmptyAndHorizon(t *testing.T) {
 
 func TestWindowQueries(t *testing.T) {
 	s := Must(
-		SourceCrashFor(4, 3),          // rounds 4,5,6
-		OmissionFor(2, 2, 0.25),       // rounds 2,3
-		OmissionFor(3, 2, 0.75),       // rounds 3,4 — stronger burst wins on 3
-		StubbornFor(5, 2, 0.5, 1),     // rounds 5,6
+		SourceCrashFor(4, 3),      // rounds 4,5,6
+		OmissionFor(2, 2, 0.25),   // rounds 2,3
+		OmissionFor(3, 2, 0.75),   // rounds 3,4 — stronger burst wins on 3
+		StubbornFor(5, 2, 0.5, 1), // rounds 5,6
 	)
 	if s.SourceOpinion(3, 1) != 1 || s.SourceOpinion(4, 1) != 0 || s.SourceOpinion(6, 1) != 0 || s.SourceOpinion(7, 1) != 1 {
 		t.Error("source crash window wrong")

@@ -23,9 +23,11 @@ func NewBirthDeath(up, down []float64) (*BirthDeath, error) {
 		return nil, fmt.Errorf("markov: up/down lengths %d, %d invalid", len(up), len(down))
 	}
 	n := len(up) - 1
+	//bitlint:floatexact boundary rates must be written as literal 0; any other value is a caller bug
 	if up[n] != 0 {
 		return nil, fmt.Errorf("markov: up[%d] = %v, want 0 at the top state", n, up[n])
 	}
+	//bitlint:floatexact boundary rates must be written as literal 0; any other value is a caller bug
 	if down[0] != 0 {
 		return nil, fmt.Errorf("markov: down[0] = %v, want 0 at the bottom state", down[0])
 	}
@@ -66,6 +68,7 @@ func (bd *BirthDeath) ExpectedTimeUp(a, b int) float64 {
 	// e[i] = expected steps from i to i+1.
 	e := make([]float64, b)
 	for i := 0; i < b; i++ {
+		//bitlint:floatexact an exactly-zero up rate makes the upward passage impossible, not merely slow
 		if bd.up[i] == 0 {
 			e[i] = math.Inf(1)
 			continue
@@ -94,6 +97,7 @@ func (bd *BirthDeath) ExpectedTimeDown(a, b int) float64 {
 	// d[i] = expected steps from i to i-1, computed from the top down.
 	d := make([]float64, n+1)
 	for i := n; i > b; i-- {
+		//bitlint:floatexact an exactly-zero down rate makes the downward passage impossible, not merely slow
 		if bd.down[i] == 0 {
 			d[i] = math.Inf(1)
 			continue

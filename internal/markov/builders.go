@@ -49,6 +49,7 @@ func ParallelChain(r *protocol.Rule, n int64, z int) (*Chain, error) {
 		b0 := binomialVector(m0, p0)
 		// row[z + j1 + j0] += b1[j1]·b0[j0].
 		for j1, q1 := range b1 {
+			//bitlint:floatexact sparse skip; a bit-exact zero pmf entry contributes nothing
 			if q1 == 0 {
 				continue
 			}

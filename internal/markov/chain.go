@@ -64,6 +64,7 @@ func (c *Chain) Step(dist []float64) []float64 {
 	n := c.Size()
 	out := make([]float64, n)
 	for i, mass := range dist {
+		//bitlint:floatexact sparse skip; only a bit-exact zero carries no mass to spread
 		if mass == 0 {
 			continue
 		}
@@ -179,8 +180,13 @@ func (c *Chain) AbsorptionProbabilities(target, avoid map[int]bool) ([]float64, 
 			}
 			a[r][cc] = v
 		}
-		for j := range target {
-			b[r] += c.p[i][j]
+		// Accumulate in index order, not map order: float addition is not
+		// associative, so ranging the target set directly would make the
+		// solved probabilities differ in the last ulp between runs.
+		for j := 0; j < n; j++ {
+			if target[j] {
+				b[r] += c.p[i][j]
+			}
 		}
 	}
 	x, err := solveDense(a, b)
@@ -198,8 +204,10 @@ func (c *Chain) canReach(targets map[int]bool) []bool {
 	n := c.Size()
 	reach := make([]bool, n)
 	queue := make([]int, 0, n)
-	for t := range targets {
-		if t >= 0 && t < n && !reach[t] {
+	// Seed the queue in index order so the BFS visit sequence is a pure
+	// function of the chain, not of map iteration order.
+	for t := 0; t < n; t++ {
+		if targets[t] {
 			reach[t] = true
 			queue = append(queue, t)
 		}
@@ -231,6 +239,7 @@ func solveDense(a [][]float64, b []float64) ([]float64, error) {
 				best, piv = v, r
 			}
 		}
+		//bitlint:floatexact pivot magnitude of exactly zero is the definition of a singular column
 		if best == 0 {
 			return nil, fmt.Errorf("markov: singular system at column %d", col)
 		}
@@ -240,6 +249,7 @@ func solveDense(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
+			//bitlint:floatexact sparse skip; a bit-exact zero multiplier eliminates nothing
 			if f == 0 {
 				continue
 			}

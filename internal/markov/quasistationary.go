@@ -48,6 +48,7 @@ func (c *Chain) QuasiStationary(transient map[int]bool, tol float64, maxIter int
 		}
 		for si, i := range states {
 			mass := v[si]
+			//bitlint:floatexact sparse skip; only a bit-exact zero carries no mass to spread
 			if mass == 0 {
 				continue
 			}

@@ -98,6 +98,7 @@ func ConflictChain(r *protocol.Rule, n, s1, s0 int64) (*Chain, error) {
 		b1 := binomialVector(x-lo, r.AdoptProb(1, p))
 		b0 := binomialVector(hi-x, r.AdoptProb(0, p))
 		for j1, q1 := range b1 {
+			//bitlint:floatexact sparse skip; a bit-exact zero pmf entry contributes nothing
 			if q1 == 0 {
 				continue
 			}

@@ -58,6 +58,7 @@ func Step(r Rule, n int64, z int, x []int64, g *rng.RNG) []int64 {
 	}
 	enumerateProfiles(q, ell, func(counts []int) {
 		w := multinomialPMF(ell, counts, p)
+		//bitlint:floatexact sparse skip; a bit-exact zero profile weight contributes nothing
 		if w == 0 {
 			return
 		}

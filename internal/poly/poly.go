@@ -29,6 +29,7 @@ func New(coeffs ...float64) Poly {
 // trim removes trailing coefficients that are exactly zero.
 func (p Poly) trim() Poly {
 	n := len(p)
+	//bitlint:floatexact trim drops only bit-exact zero coefficients; near-zeros are trimEps's job
 	for n > 0 && p[n-1] == 0 {
 		n--
 	}
@@ -101,6 +102,7 @@ func (p Poly) Mul(q Poly) Poly {
 	}
 	out := make(Poly, len(p)+len(q)-1)
 	for i, a := range p {
+		//bitlint:floatexact sparse skip; a bit-exact zero coefficient contributes nothing to the convolution
 		if a == 0 {
 			continue
 		}
@@ -113,6 +115,7 @@ func (p Poly) Mul(q Poly) Poly {
 
 // Scale returns k·p.
 func (p Poly) Scale(k float64) Poly {
+	//bitlint:floatexact scaling by bit-exact zero is the zero polynomial; near-zero scales stay representable
 	if k == 0 {
 		return nil
 	}
@@ -175,6 +178,7 @@ func (p Poly) String() string {
 	var b strings.Builder
 	first := true
 	for i, c := range p {
+		//bitlint:floatexact display formatting elides only terms stored as bit-exact zero
 		if c == 0 {
 			continue
 		}
@@ -193,6 +197,7 @@ func (p Poly) String() string {
 		switch {
 		case i == 0:
 			fmt.Fprintf(&b, "%g", a)
+		//bitlint:floatexact display formatting; the implicit-1 shorthand applies only to a bit-exact 1
 		case a == 1:
 			// coefficient 1 is implicit
 		default:

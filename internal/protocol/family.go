@@ -41,6 +41,7 @@ func Fixed(ell int) SampleSchedule {
 // the Minority dynamics converges in O(log² n) parallel rounds.
 func SqrtNLogN(c float64) SampleSchedule {
 	name := "ℓ=⌈√(n ln n)⌉"
+	//bitlint:floatexact display only; the unscaled name is used exactly when the caller wrote the literal 1
 	if c != 1 {
 		name = fmt.Sprintf("ℓ=⌈%g·√(n ln n)⌉", c)
 	}
@@ -59,6 +60,7 @@ func SqrtNLogN(c float64) SampleSchedule {
 // where one-round convergence from distant configurations becomes possible.
 func LogN(c float64) SampleSchedule {
 	name := "ℓ=⌈ln n⌉"
+	//bitlint:floatexact display only; the unscaled name is used exactly when the caller wrote the literal 1
 	if c != 1 {
 		name = fmt.Sprintf("ℓ=⌈%g·ln n⌉", c)
 	}

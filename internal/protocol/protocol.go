@@ -123,6 +123,7 @@ func (r *Rule) Tables() (g0, g1 []float64) {
 // agent's own opinion.
 func (r *Rule) IsSymmetric() bool {
 	for k := range r.g0 {
+		//bitlint:floatexact symmetry means the two stored tables are the same constants, bit for bit
 		if r.g0[k] != r.g1[k] {
 			return false
 		}
@@ -135,9 +136,11 @@ func (r *Rule) IsSymmetric() bool {
 // which make both consensus configurations absorbing. It returns nil when
 // the conditions hold and an error wrapping ErrProp3 otherwise.
 func (r *Rule) CheckProp3() error {
+	//bitlint:floatexact Proposition 3 requires the absorbing probabilities to be exactly 0 and 1
 	if r.g0[0] != 0 {
 		return fmt.Errorf("%w: g[0](0) = %v, want 0", ErrProp3, r.g0[0])
 	}
+	//bitlint:floatexact Proposition 3 requires the absorbing probabilities to be exactly 0 and 1
 	if r.g1[r.ell] != 1 {
 		return fmt.Errorf("%w: g[1](ℓ) = %v, want 1", ErrProp3, r.g1[r.ell])
 	}
@@ -166,8 +169,10 @@ func (r *Rule) AdoptProb(b int, p float64) float64 {
 	}
 	ell := r.ell
 	switch {
+	//bitlint:floatexact p was just clamped; the degenerate pmf short-cuts apply only at the exact endpoints
 	case p == 0:
 		return tbl[0]
+	//bitlint:floatexact p was just clamped; the degenerate pmf short-cuts apply only at the exact endpoints
 	case p == 1:
 		return tbl[ell]
 	}
@@ -224,9 +229,11 @@ func SampleCountPMF(ell int, p float64, dst []float64) {
 		dst[k] = 0
 	}
 	switch {
+	//bitlint:floatexact p was just clamped; the degenerate pmf short-cuts apply only at the exact endpoints
 	case p == 0:
 		dst[0] = 1
 		return
+	//bitlint:floatexact p was just clamped; the degenerate pmf short-cuts apply only at the exact endpoints
 	case p == 1:
 		dst[ell] = 1
 		return
@@ -276,6 +283,7 @@ func (r *Rule) AdoptProbWithoutReplacement(b int, n, x int64) float64 {
 	}
 	sum := 0.0
 	for k := int64(0); k <= ell; k++ {
+		//bitlint:floatexact sparse skip; a bit-exact zero table entry contributes nothing to the sum
 		if tbl[k] == 0 {
 			continue
 		}

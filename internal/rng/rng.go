@@ -137,6 +137,7 @@ func (r *RNG) NormFloat64() float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
+		//bitlint:floatexact Marsaglia polar rejection: only a bit-exact zero radius divides by zero below
 		if s >= 1 || s == 0 {
 			continue
 		}

@@ -154,6 +154,7 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	n := 0
+	//bitlint:maporder pure count; integer length-sum is order-insensitive
 	for _, m := range j.done {
 		n += len(m)
 	}

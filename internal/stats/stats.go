@@ -101,6 +101,7 @@ func FitLinear(x, y []float64) (LinearFit, error) {
 		sxy += x[i] * y[i]
 	}
 	denom := n*sxx - sx*sx
+	//bitlint:floatexact divide-by-zero guard; tiny nonzero variance still yields a finite (if noisy) fit
 	if denom == 0 {
 		return LinearFit{}, errors.New("stats: degenerate x values")
 	}
