@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents
+.PHONY: build test verify vet-race obs-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ vet-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/ ./internal/engine/ ./internal/fault/ ./internal/protocol/
 
+# Observability layer under the race detector: the shared metrics
+# registry, the span writer, and the probe/observer wiring through the
+# Monte-Carlo runner (obs_integration_test exercises sim.Run with a
+# probe attached across worker goroutines under an active fault
+# schedule).
+obs-race:
+	$(GO) test -race ./internal/obs/ ./internal/trace/ ./internal/sim/
+
 # Repo-specific static contracts (DESIGN.md §11): bitlint machine-checks
 # the determinism, probability-domain, and validate-before-work invariants
 # that `go vet` cannot see. Zero unsuppressed diagnostics is the bar;
@@ -39,7 +47,7 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race lint fuzz-fault bench-smoke
+ci: verify vet-race obs-race lint fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).

@@ -46,6 +46,7 @@ import (
 	"bitspread/internal/markov"
 	"bitspread/internal/memory"
 	"bitspread/internal/multi"
+	"bitspread/internal/obs"
 	"bitspread/internal/popproto"
 	"bitspread/internal/protocol"
 	"bitspread/internal/rng"
@@ -309,13 +310,36 @@ var (
 	StepConflict = engine.StepConflict
 )
 
-// Trajectory recording and terminal rendering.
+// Trajectory recording and terminal rendering. A TraceRecorder also
+// implements Probe, so it can be attached to Config.Probe instead of (or
+// alongside) Config.Record.
 type TraceRecorder = trace.Recorder
 
 var (
 	NewTraceRecorder = trace.NewRecorder
 	TraceForBudget   = trace.ForBudget
 	Sparkline        = trace.Sparkline
+)
+
+// Observability: engines accept a Probe (structured per-round events),
+// the Monte-Carlo runner accepts an Observer (replica lifecycle spans),
+// and the obs package provides the standard atomic implementations plus
+// a Prometheus-style text registry. See DESIGN.md §12.
+type (
+	Probe           = engine.Probe
+	Observer        = sim.Observer
+	Metrics         = obs.Metrics
+	MetricsRegistry = obs.Registry
+	SpanWriter      = obs.SpanWriter
+	RunObserver     = obs.RunObserver
+)
+
+var (
+	NewMetricsRegistry   = obs.NewRegistry
+	NewMetrics           = obs.NewMetrics
+	NewSpanWriter        = obs.NewSpanWriter
+	NewRunObserver       = obs.NewRunObserver
+	WriteMetricsSnapshot = obs.WriteSnapshot
 )
 
 // Population-protocol baseline ([22] contrast): active pairwise

@@ -32,11 +32,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
 	"syscall"
 	"time"
 
 	"bitspread/internal/engine"
+	"bitspread/internal/obs"
 	"bitspread/internal/protocol"
 	"bitspread/internal/rng"
 )
@@ -83,18 +83,19 @@ type record struct {
 	Interrupted bool `json:"interrupted,omitempty"`
 }
 
-func run(ctx context.Context, args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("bitbench", flag.ContinueOnError)
+	var prof obs.Profile
+	prof.Register(fs)
 	var (
-		out        = fs.String("out", "BENCH_engines.json", "trajectory file to append the JSON record to (- for stdout)")
-		n          = fs.Int64("n", 1<<16, "population size for the benchmarks")
-		shards     = fs.Int("shards", runtime.NumCPU(), "shard count for the sharded agent benchmark")
-		replicas   = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
-		budget     = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
-		maxProcs   = fs.Int("gomaxprocs", runtime.NumCPU(), "GOMAXPROCS for the benchmark run (recorded in the output)")
-		suite      = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), all")
-		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
-		memProfile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		out         = fs.String("out", "BENCH_engines.json", "trajectory file to append the JSON record to (- for stdout)")
+		n           = fs.Int64("n", 1<<16, "population size for the benchmarks")
+		shards      = fs.Int("shards", runtime.NumCPU(), "shard count for the sharded agent benchmark")
+		replicas    = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
+		budget      = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
+		maxProcs    = fs.Int("gomaxprocs", runtime.NumCPU(), "GOMAXPROCS for the benchmark run (recorded in the output)")
+		suite       = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), all")
+		metricsPath = fs.String("metrics", "", `attach the standard engine probe to the agent benchmarks and write a metrics snapshot at exit ("-": stdout); measures the instrumented hot path`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,16 +114,28 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+	}()
+
+	// A nil engine.Probe interface keeps the uninstrumented fast path; it
+	// is only non-nil when -metrics asks for the instrumented measurement
+	// (assigning a typed-nil *obs.Metrics here would re-enable the hook).
+	var reg *obs.Registry
+	var benchProbe engine.Probe
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		benchProbe = obs.NewMetrics(reg)
+		defer func() {
+			if merr := obs.WriteSnapshot(reg, *metricsPath, w); merr != nil && err == nil {
+				err = merr
+			}
+		}()
 	}
 
 	rec := record{
@@ -148,20 +161,24 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *suite != "engines" {
 		specs = append(specs,
 			benchSpec{"agents/literal", func() measurement {
-				return benchAgents(ctx, *n, engine.AgentOptions{Unpacked: true}, *budget)
+				return benchAgents(ctx, *n, engine.AgentOptions{Unpacked: true}, benchProbe, *budget)
 			}},
 			benchSpec{"agents/packed", func() measurement {
-				return benchAgents(ctx, *n, engine.AgentOptions{}, *budget)
+				return benchAgents(ctx, *n, engine.AgentOptions{}, benchProbe, *budget)
 			}},
 			benchSpec{"agents/aggregated", func() measurement {
-				return benchAggregated(ctx, *n, *budget)
+				return benchAggregated(ctx, *n, benchProbe, *budget)
 			}},
 		)
 	}
 	if *suite != "agents" {
 		specs = append(specs,
-			benchSpec{"agents/serial", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{}, *budget) }},
-			benchSpec{"agents/sharded", func() measurement { return benchAgents(ctx, *n, engine.AgentOptions{Shards: *shards}, *budget) }},
+			benchSpec{"agents/serial", func() measurement {
+				return benchAgents(ctx, *n, engine.AgentOptions{}, benchProbe, *budget)
+			}},
+			benchSpec{"agents/sharded", func() measurement {
+				return benchAgents(ctx, *n, engine.AgentOptions{Shards: *shards}, benchProbe, *budget)
+			}},
 		)
 		for _, ell := range ells {
 			rule := protocol.Minority(ell)
@@ -205,17 +222,6 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	if err := flushRecord(w, *out, rec, ells); err != nil {
 		return err
-	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
-		}
 	}
 	if rec.Interrupted {
 		return fmt.Errorf("interrupted after %d of %d benchmarks (partial record flushed): %w",
@@ -292,14 +298,16 @@ func timeIt(ctx context.Context, budget time.Duration, f func(iters int)) measur
 }
 
 // benchAgents times full two-round agent-engine runs at ℓ = 3, the
-// configuration of the repo's BenchmarkRunAgents acceptance target.
-func benchAgents(ctx context.Context, n int64, opts engine.AgentOptions, budget time.Duration) measurement {
+// configuration of the repo's BenchmarkRunAgents acceptance target. A
+// non-nil probe measures the instrumented hot path (-metrics).
+func benchAgents(ctx context.Context, n int64, opts engine.AgentOptions, probe engine.Probe, budget time.Duration) measurement {
 	cfg := engine.Config{
 		N:         n,
 		Rule:      protocol.Minority(3),
 		Z:         1,
 		X0:        n / 2,
 		MaxRounds: 2,
+		Probe:     probe,
 	}
 	g := rng.New(1)
 	return timeIt(ctx, budget, func(iters int) {
@@ -314,13 +322,14 @@ func benchAgents(ctx context.Context, n int64, opts engine.AgentOptions, budget 
 // benchAggregated times the aggregated opinion-class engine on the same
 // two-round instance as benchAgents, so agg_speedup is apples-to-apples
 // against agents/literal.
-func benchAggregated(ctx context.Context, n int64, budget time.Duration) measurement {
+func benchAggregated(ctx context.Context, n int64, probe engine.Probe, budget time.Duration) measurement {
 	cfg := engine.Config{
 		N:         n,
 		Rule:      protocol.Minority(3),
 		Z:         1,
 		X0:        n / 2,
 		MaxRounds: 2,
+		Probe:     probe,
 	}
 	g := rng.New(1)
 	return timeIt(ctx, budget, func(iters int) {

@@ -19,6 +19,7 @@ import (
 	"bitspread/internal/cli"
 	"bitspread/internal/engine"
 	"bitspread/internal/graph"
+	"bitspread/internal/obs"
 	"bitspread/internal/protocol"
 	"bitspread/internal/rng"
 	"bitspread/internal/trace"
@@ -31,9 +32,12 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("bitsim", flag.ContinueOnError)
+	var prof obs.Profile
+	prof.Register(fs)
 	var (
+		metricsPath = fs.String("metrics", "", `write a Prometheus-style metrics snapshot at exit ("-": stdout; standard mode only)`)
 		ruleName  = fs.String("rule", "voter", "update rule: "+cli.RuleNames())
 		ell       = fs.Int("ell", 1, "sample size ℓ (fixed schedule)")
 		schedule  = fs.String("schedule", "fixed", "sample-size schedule: fixed, sqrtnlogn, logn, power")
@@ -59,6 +63,14 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	sched, err := cli.BuildSchedule(*schedule, *ell, *coeff, *alpha)
 	if err != nil {
@@ -111,6 +123,11 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	cfg.Record = hook
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		cfg.Probe = obs.NewMetrics(reg)
+	}
 
 	shardNote := ""
 	if *mode == "agents" && *shards > 1 {
@@ -151,7 +168,7 @@ func run(args []string, w io.Writer) error {
 	if *plot && recorder.Len() > 0 {
 		fmt.Fprint(w, recorder.Plot(12))
 	}
-	return nil
+	return obs.WriteSnapshot(reg, *metricsPath, w)
 }
 
 // runConflict handles the stubborn-sources mode (§1.3): no consensus is

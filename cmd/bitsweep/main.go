@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"bitspread/internal/experiments"
+	"bitspread/internal/obs"
 	"bitspread/internal/sim"
 	"bitspread/internal/table"
 )
@@ -44,9 +45,13 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("bitsweep", flag.ContinueOnError)
+	var prof obs.Profile
+	prof.Register(fs)
 	var (
+		metricsPath = fs.String("metrics", "", `write a Prometheus-style metrics snapshot of the sweep at exit ("-": stdout)`)
+		spansPath   = fs.String("spans", "", "write run-level JSONL spans (replica lifecycle, checkpoints, recoveries) to this file")
 		expSpec = fs.String("exp", "all", "experiment ID (e.g. T2, F4) or 'all'")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		quick   = fs.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
@@ -61,6 +66,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -108,6 +121,36 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 
 	opts := experiments.Options{Seed: *seed, Workers: *workers, Quick: *quick, Ctx: ctx, Journal: ckpt}
+
+	// Instrumentation: a shared registry feeds both the engine probe and
+	// the run observer; spans go to their own JSONL file next to the
+	// journal.
+	var reg *obs.Registry
+	var spans *obs.SpanWriter
+	if *metricsPath != "" || *spansPath != "" {
+		reg = obs.NewRegistry()
+		if *spansPath != "" {
+			f, ferr := os.Create(*spansPath)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			spans = obs.NewSpanWriter(f)
+			defer func() {
+				if serr := spans.Close(); serr != nil && err == nil {
+					err = serr
+				}
+			}()
+		}
+		opts.Probe = obs.NewMetrics(reg)
+		opts.Observer = obs.NewRunObserver(spans, reg)
+		defer func() {
+			if merr := obs.WriteSnapshot(reg, *metricsPath, w); merr != nil && err == nil {
+				err = merr
+			}
+		}()
+	}
+
 	if *md {
 		return writeMarkdown(w, selected, opts)
 	}

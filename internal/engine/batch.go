@@ -39,6 +39,9 @@ func StepCountBatch(c *protocol.AdoptCache, z int, xs []int64, gs []*rng.RNG) {
 // the cap expires.
 //
 // cfg.Record must be nil — a shared hook cannot tell replicas apart.
+// cfg.Probe is supported: probes are concurrency-safe aggregators by
+// contract, so RoundDone fires once per active replica per round and
+// FaultApplied once per perturbed round (the schedule is shared).
 func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -85,6 +88,9 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 			// The source opinion is a pure function of the round, so the
 			// boundary flip is shared; the event randomness is per-replica.
 			src = faults.SourceOpinion(t, cfg.Z)
+			if cfg.Probe != nil && (src != cfg.Z || faults.BoundaryAt(t)) {
+				cfg.Probe.FaultApplied(t)
+			}
 		}
 		live := active[:0]
 		for _, i := range active {
@@ -113,6 +119,9 @@ func RunParallelReplicas(cfg Config, seeds []uint64) ([]Result, error) {
 			res.FinalCount = x
 			if x == trap {
 				res.HitWrongConsensus = true
+			}
+			if cfg.Probe != nil {
+				cfg.Probe.RoundDone(t, x, sampled)
 			}
 			if x == target && absorbing && t >= horizon {
 				res.Converged = true

@@ -36,8 +36,53 @@ func regressionSchedule(t *testing.T) *fault.Schedule {
 	return s
 }
 
-// traced runs one engine once, recording the full trajectory.
+// trajProbe is a trajectory-capturing Probe; the regression suite runs
+// every engine with one attached so determinism is proven for the
+// instrumented code path, and its trajectory is checked against the
+// Record hook's.
+type trajProbe struct {
+	counts  []int64
+	shards  map[int]bool
+	faulted int
+}
+
+func (p *trajProbe) RoundDone(round, ones, sampled int64) { p.counts = append(p.counts, ones) }
+func (p *trajProbe) FaultApplied(round int64)             { p.faulted++ }
+func (p *trajProbe) ShardRound(shard int, sampled int64) {
+	if p.shards == nil {
+		p.shards = map[int]bool{}
+	}
+	p.shards[shard] = true
+}
+
+// traced runs one engine once with a probe attached, recording the full
+// trajectory through the Record hook and cross-checking the probe's view
+// of it.
 func traced(t *testing.T, run func(engine.Config, *rng.RNG) (engine.Result, error),
+	cfg engine.Config, seed uint64) (engine.Result, []int64) {
+	t.Helper()
+	var traj []int64
+	cfg.Record = func(round, count int64) { traj = append(traj, count) }
+	probe := &trajProbe{}
+	cfg.Probe = probe
+	res, err := run(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.counts) != len(traj) {
+		t.Fatalf("probe saw %d rounds, Record saw %d", len(probe.counts), len(traj))
+	}
+	for i := range traj {
+		if probe.counts[i] != traj[i] {
+			t.Fatalf("probe and Record diverge at point %d: %d vs %d", i, probe.counts[i], traj[i])
+		}
+	}
+	return res, traj
+}
+
+// tracedPlain is traced without any probe, for instrumented-vs-plain
+// equality checks.
+func tracedPlain(t *testing.T, run func(engine.Config, *rng.RNG) (engine.Result, error),
 	cfg engine.Config, seed uint64) (engine.Result, []int64) {
 	t.Helper()
 	var traj []int64
@@ -101,6 +146,19 @@ func TestSeedDeterminismUnderFaults(t *testing.T) {
 				if res1.Rounds == 0 || len(traj1) == 0 {
 					t.Fatalf("seed %#x: degenerate run (rounds=%d, trajectory=%d points) proves nothing",
 						seed, res1.Rounds, len(traj1))
+				}
+				// A probe must be a pure observer: the instrumented run and
+				// the probe-free run must coincide byte for byte.
+				resPlain, trajPlain := tracedPlain(t, run, base, seed)
+				if res1 != resPlain {
+					t.Fatalf("seed %#x: probe changed the Result:\n  probed: %+v\n  plain:  %+v",
+						seed, res1, resPlain)
+				}
+				for i := range traj1 {
+					if traj1[i] != trajPlain[i] {
+						t.Fatalf("seed %#x: probe changed the trajectory at round %d: %d vs %d",
+							seed, i+1, traj1[i], trajPlain[i])
+					}
 				}
 			}
 		})

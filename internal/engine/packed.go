@@ -568,13 +568,15 @@ func runAgentsPacked(cfg Config, shards int, g *rng.RNG) (Result, error) {
 			}
 		}
 		count := int64(0)
+		var roundSampled int64
 		for _, w := range workers {
 			for p := 0; p < w.nParts; p++ {
 				next[w.partIdx[p]] |= w.partBit[p]
 			}
 			count += w.count
-			res.Activations += w.sampled
+			roundSampled += w.sampled
 		}
+		res.Activations += roundSampled
 		next[0] = next[0]&^1 | uint64(src)
 		count += int64(src)
 
@@ -587,6 +589,14 @@ func runAgentsPacked(cfg Config, shards int, g *rng.RNG) (Result, error) {
 		}
 		if cfg.Record != nil {
 			cfg.Record(t, x)
+		}
+		if cfg.Probe != nil {
+			if shards > 1 {
+				for s, w := range workers {
+					cfg.Probe.ShardRound(s, w.sampled)
+				}
+			}
+			probeRound(cfg.Probe, faults, t, cfg.Z, src, x, roundSampled)
 		}
 		if x == target && absorbing && t >= horizon {
 			res.Converged = true

@@ -52,15 +52,14 @@ func RunParallel(cfg Config, g *rng.RNG) (Result, error) {
 			res.Interrupted = true
 			return res, nil
 		}
+		sampled := cfg.N - 1
 		if faults != nil {
 			x, src = faultBoundaryCount(faults, t, cfg.N, cfg.Z, src, x, g)
-			var sampled int64
 			x, sampled = stepCountFaulty(cfg.Rule, nil, faults, t, cfg.N, src, x, g)
-			res.Activations += sampled
 		} else {
 			x = StepCount(cfg.Rule, cfg.N, cfg.Z, x, g)
-			res.Activations += cfg.N - 1
 		}
+		res.Activations += sampled
 		res.Rounds = t
 		res.FinalCount = x
 		if x == trap {
@@ -69,6 +68,7 @@ func RunParallel(cfg Config, g *rng.RNG) (Result, error) {
 		if cfg.Record != nil {
 			cfg.Record(t, x)
 		}
+		probeRound(cfg.Probe, faults, t, cfg.Z, src, x, sampled)
 		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			return res, nil

@@ -1,0 +1,48 @@
+package engine_test
+
+// Overhead guard for the probe hook: an uninstrumented engine must not
+// allocate on account of the probe plumbing, and attaching the standard
+// atomic obs probe must not add per-round allocations either — sweeps
+// run millions of rounds, so even one escape per round would swamp the
+// allocator.
+
+import (
+	"testing"
+
+	"bitspread/internal/engine"
+	"bitspread/internal/obs"
+	"bitspread/internal/protocol"
+	"bitspread/internal/rng"
+)
+
+func TestProbePathAllocationFree(t *testing.T) {
+	cfg := engine.Config{
+		N:         1 << 12,
+		Rule:      protocol.Voter(3),
+		Z:         1,
+		X0:        1 << 11,
+		MaxRounds: 64,
+	}
+	g := rng.New(5)
+	plain := testing.AllocsPerRun(20, func() {
+		if _, err := engine.RunParallel(cfg, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	probed := cfg
+	probed.Probe = obs.NewMetrics(obs.NewRegistry())
+	g2 := rng.New(5)
+	instrumented := testing.AllocsPerRun(20, func() {
+		if _, err := engine.RunParallel(probed, g2); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// The runs execute up to 64 rounds each; a single per-round escape in
+	// the probe path would show up as tens of extra allocations.
+	if instrumented > plain {
+		t.Errorf("attaching a probe added allocations: plain=%.1f instrumented=%.1f per run",
+			plain, instrumented)
+	}
+}

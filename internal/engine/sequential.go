@@ -56,9 +56,11 @@ func RunSequential(cfg Config, g *rng.RNG) (Result, error) {
 		res.Converged = true
 		return res, nil
 	}
+	var roundSampled int64
 	for a := int64(1); a <= maxActivations; a++ {
 		t := (a-1)/cfg.N + 1 // current parallel round
 		if a%cfg.N == 1 {
+			roundSampled = 0
 			if cfg.Halt != nil && cfg.Halt() {
 				res.Interrupted = true
 				return res, nil
@@ -72,21 +74,36 @@ func RunSequential(cfg Config, g *rng.RNG) (Result, error) {
 			x, did = sequentialStepFaulty(cfg.Rule, faults, t, cfg.N, src, x, g)
 			if did {
 				res.Activations++
+				roundSampled++
 			}
 		} else {
 			x = SequentialStep(cfg.Rule, cfg.N, cfg.Z, x, g)
 			res.Activations++
+			roundSampled++
 		}
 		res.FinalCount = x
 		if x == trap {
 			res.HitWrongConsensus = true
 		}
-		if cfg.Record != nil && a%cfg.N == 0 {
-			cfg.Record(a/cfg.N, x)
+		if a%cfg.N == 0 {
+			if cfg.Record != nil {
+				cfg.Record(t, x)
+			}
+			probeRound(cfg.Probe, faults, t, cfg.Z, src, x, roundSampled)
 		}
 		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			res.Rounds = (a + cfg.N - 1) / cfg.N
+			if a%cfg.N != 0 {
+				// Mid-round convergence: the run stops before the n-th
+				// activation, so the boundary hook above would never see the
+				// terminal count. Emit the partial round so trajectory taps
+				// end at consensus instead of one round early.
+				if cfg.Record != nil {
+					cfg.Record(t, x)
+				}
+				probeRound(cfg.Probe, faults, t, cfg.Z, src, x, roundSampled)
+			}
 			return res, nil
 		}
 	}

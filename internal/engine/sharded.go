@@ -107,9 +107,11 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 		cur, next = next, cur
 		x = count
 		res.Rounds = t
+		var roundSampled int64
 		for _, w := range workers {
-			res.Activations += w.sampled
+			roundSampled += w.sampled
 		}
+		res.Activations += roundSampled
 		res.FinalCount = x
 		if x == trap {
 			res.HitWrongConsensus = true
@@ -117,6 +119,12 @@ func runAgentsSharded(cfg Config, opts AgentOptions, shards int, g *rng.RNG) (Re
 		if cfg.Record != nil {
 			cfg.Record(t, x)
 		}
+		if cfg.Probe != nil {
+			for s, w := range workers {
+				cfg.Probe.ShardRound(s, w.sampled)
+			}
+		}
+		probeRound(cfg.Probe, faults, t, cfg.Z, src, x, roundSampled)
 		if x == target && absorbing && t >= horizon {
 			res.Converged = true
 			return res, nil

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bitspread/internal/engine"
 	"bitspread/internal/sim"
 )
 
@@ -38,6 +39,14 @@ type Options struct {
 	// Journal, if non-nil, checkpoints every finished replica so an
 	// interrupted sweep can resume without recomputation.
 	Journal *sim.Journal
+	// Probe, if non-nil, is attached to every engine run of the suite as
+	// Config.Probe (it must be concurrency-safe; internal/obs.Metrics is
+	// the standard choice). Probes never change results.
+	Probe engine.Probe
+	// Observer, if non-nil, receives run-level lifecycle events from
+	// every sim task of the suite (internal/obs.RunObserver is the
+	// standard choice).
+	Observer sim.Observer
 }
 
 // ctx resolves the run context, defaulting to context.Background().

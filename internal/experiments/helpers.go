@@ -43,12 +43,16 @@ type measured struct {
 // honours opts.Ctx (cancellation surfaces as the context error) and
 // checkpoints finished replicas into opts.Journal when one is set.
 func measure(opts Options, name string, cfg engine.Config, mode sim.Mode, replicas int, salt uint64) (measured, error) {
+	if opts.Probe != nil {
+		cfg.Probe = opts.Probe
+	}
 	out, err := sim.RunContext(opts.ctx(), sim.Task{
 		Name:     name,
 		Config:   cfg,
 		Mode:     mode,
 		Replicas: replicas,
 		Seed:     subSeed(opts, salt),
+		Observer: opts.Observer,
 	}, opts.Workers, opts.Journal)
 	if err != nil {
 		return measured{}, err

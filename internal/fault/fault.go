@@ -298,6 +298,22 @@ func (s *Schedule) Horizon() int64 {
 	return s.horizon
 }
 
+// ActiveAt reports whether any event of the schedule affects round t —
+// a boundary event firing at t or a window covering it. Observability
+// layers use it to label rounds as perturbed; it is a pure query and
+// nil-safe like the Perturber methods.
+func (s *Schedule) ActiveAt(t int64) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.events {
+		if e.active(t) {
+			return true
+		}
+	}
+	return false
+}
+
 // BoundaryAt implements engine.Perturber.
 func (s *Schedule) BoundaryAt(t int64) bool {
 	if s == nil {

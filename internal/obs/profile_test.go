@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileDisabledIsNoOp(t *testing.T) {
+	var p Profile
+	if err := p.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestProfileWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	var p Profile
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// Idempotent.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("stat %s: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one run-level event, serialized as a single JSONL line. Spans
+// live next to sim.Journal checkpoint lines — same format family, one
+// JSON object per line — but in their own file: journals are replayable
+// state, spans are telemetry.
+//
+// AtMS is wall-clock milliseconds since the writer was created, DurMS
+// the wall-clock duration of the replica for replica_done events. Both
+// are observability metadata: nothing deterministic ever reads them.
+type Span struct {
+	// Ev is the event kind: run_start, replica_start, replica_done,
+	// checkpoint, recovery, run_done.
+	Ev string `json:"ev"`
+	// Task is the sim task name the event belongs to (empty for
+	// run-level events).
+	Task string `json:"task,omitempty"`
+	// Replica is the replica index within the task (-1 for events that
+	// are not about one replica).
+	Replica int `json:"replica"`
+	// AtMS is milliseconds since the span writer was created.
+	AtMS float64 `json:"at_ms"`
+	// DurMS is the wall-clock duration in milliseconds (replica_done).
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Rounds carries Result.Rounds for replica_done and the recovery
+	// round count for recovery events.
+	Rounds int64 `json:"rounds,omitempty"`
+	// Converged is Result.Converged for replica_done events.
+	Converged bool `json:"converged,omitempty"`
+	// State is the replica's terminal ReplicaState (done, failed,
+	// cancelled, timed-out) for replica_done events.
+	State string `json:"state,omitempty"`
+}
+
+// SpanWriter emits spans as JSONL. It is safe for concurrent use — the
+// sim worker pool emits replica events from many goroutines — and
+// remembers the first write error instead of failing mid-sweep; callers
+// check Err once at the end.
+type SpanWriter struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+	open  map[spanKey]time.Time
+	err   error
+}
+
+// spanKey identifies an in-flight replica span.
+type spanKey struct {
+	task    string
+	replica int
+}
+
+// NewSpanWriter returns a writer emitting to w, stamping a run_start
+// span at creation.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	s := &SpanWriter{
+		enc: json.NewEncoder(w),
+		//bitlint:wallclock span timestamps are telemetry; no simulation state ever reads them
+		start: time.Now(),
+		open:  map[spanKey]time.Time{},
+	}
+	s.emit(Span{Ev: "run_start", Replica: -1})
+	return s
+}
+
+// emit stamps and writes one span under the lock.
+func (s *SpanWriter) emit(sp Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//bitlint:wallclock span timestamps are telemetry; no simulation state ever reads them
+	sp.AtMS = float64(time.Since(s.start).Microseconds()) / 1e3
+	if err := s.enc.Encode(sp); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *SpanWriter) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stamps the terminal run_done span and reports the first write
+// error. The underlying writer is the caller's to close.
+func (s *SpanWriter) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.emit(Span{Ev: "run_done", Replica: -1})
+	return s.Err()
+}
+
+// RunObserver adapts a SpanWriter (plus optional registry counters) to
+// the sim run-level Observer contract (bitspread/internal/sim.Observer):
+// replica lifecycle, checkpoint and recovery events become JSONL spans
+// and bitspread_replica*/bitspread_checkpoint*/bitspread_recovery*
+// counters. Safe for concurrent use; a nil *RunObserver is a no-op.
+type RunObserver struct {
+	spans       *SpanWriter
+	replicas    *Counter
+	converged   *Counter
+	checkpoints *Counter
+	recoveries  *Counter
+}
+
+// NewRunObserver builds the observer. spans may be nil (counters only)
+// and reg may be nil (spans only); both nil yields a no-op observer.
+func NewRunObserver(spans *SpanWriter, reg *Registry) *RunObserver {
+	return &RunObserver{
+		spans:       spans,
+		replicas:    reg.Counter("bitspread_replicas_total"),
+		converged:   reg.Counter("bitspread_replicas_converged_total"),
+		checkpoints: reg.Counter("bitspread_checkpoints_total"),
+		recoveries:  reg.Counter("bitspread_recoveries_total"),
+	}
+}
+
+// ReplicaStart implements the sim Observer contract.
+func (o *RunObserver) ReplicaStart(task string, replica int) {
+	if o == nil {
+		return
+	}
+	if o.spans != nil {
+		o.spans.mu.Lock()
+		//bitlint:wallclock replica duration is telemetry; no simulation state ever reads it
+		o.spans.open[spanKey{task, replica}] = time.Now()
+		o.spans.mu.Unlock()
+		o.spans.emit(Span{Ev: "replica_start", Task: task, Replica: replica})
+	}
+}
+
+// ReplicaDone implements the sim Observer contract.
+func (o *RunObserver) ReplicaDone(task string, replica int, rounds int64, converged bool, state string) {
+	if o == nil {
+		return
+	}
+	o.replicas.Inc()
+	if converged {
+		o.converged.Inc()
+	}
+	if o.spans != nil {
+		sp := Span{Ev: "replica_done", Task: task, Replica: replica,
+			Rounds: rounds, Converged: converged, State: state}
+		o.spans.mu.Lock()
+		key := spanKey{task, replica}
+		if t0, ok := o.spans.open[key]; ok {
+			//bitlint:wallclock replica duration is telemetry; no simulation state ever reads it
+			sp.DurMS = float64(time.Since(t0).Microseconds()) / 1e3
+			delete(o.spans.open, key)
+		}
+		o.spans.mu.Unlock()
+		o.spans.emit(sp)
+	}
+}
+
+// Checkpoint implements the sim Observer contract: the replica's result
+// was flushed to the journal.
+func (o *RunObserver) Checkpoint(task string, replica int) {
+	if o == nil {
+		return
+	}
+	o.checkpoints.Inc()
+	if o.spans != nil {
+		o.spans.emit(Span{Ev: "checkpoint", Task: task, Replica: replica})
+	}
+}
+
+// Recovery implements the sim Observer contract: the replica re-reached
+// consensus rounds rounds after its fault schedule's horizon.
+func (o *RunObserver) Recovery(task string, replica int, rounds int64) {
+	if o == nil {
+		return
+	}
+	o.recoveries.Inc()
+	if o.spans != nil {
+		o.spans.emit(Span{Ev: "recovery", Task: task, Replica: replica, Rounds: rounds})
+	}
+}

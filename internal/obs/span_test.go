@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func decodeSpans(t *testing.T, out string) []Span {
+	t.Helper()
+	var spans []Span
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, sp)
+	}
+	return spans
+}
+
+func TestSpanWriterLifecycle(t *testing.T) {
+	var buf strings.Builder
+	sw := NewSpanWriter(&buf)
+	reg := NewRegistry()
+	o := NewRunObserver(sw, reg)
+
+	o.ReplicaStart("taskA", 0)
+	o.ReplicaDone("taskA", 0, 42, true, "done")
+	o.Checkpoint("taskA", 0)
+	o.ReplicaStart("taskA", 1)
+	o.ReplicaDone("taskA", 1, 99, false, "failed")
+	o.Recovery("taskA", 1, 7)
+	if err := sw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	spans := decodeSpans(t, buf.String())
+	wantEv := []string{"run_start", "replica_start", "replica_done", "checkpoint",
+		"replica_start", "replica_done", "recovery", "run_done"}
+	if len(spans) != len(wantEv) {
+		t.Fatalf("got %d spans, want %d:\n%s", len(spans), len(wantEv), buf.String())
+	}
+	for i, ev := range wantEv {
+		if spans[i].Ev != ev {
+			t.Errorf("span %d ev = %q, want %q", i, spans[i].Ev, ev)
+		}
+	}
+	done := spans[2]
+	if done.Task != "taskA" || done.Replica != 0 || done.Rounds != 42 || !done.Converged || done.State != "done" {
+		t.Errorf("replica_done span wrong: %+v", done)
+	}
+	if done.DurMS < 0 {
+		t.Errorf("replica_done DurMS = %v, want >= 0", done.DurMS)
+	}
+	if rec := spans[6]; rec.Rounds != 7 {
+		t.Errorf("recovery rounds = %d, want 7", rec.Rounds)
+	}
+
+	if got := reg.Counter("bitspread_replicas_total").Value(); got != 2 {
+		t.Errorf("replicas_total = %d, want 2", got)
+	}
+	if got := reg.Counter("bitspread_replicas_converged_total").Value(); got != 1 {
+		t.Errorf("replicas_converged_total = %d, want 1", got)
+	}
+	if got := reg.Counter("bitspread_checkpoints_total").Value(); got != 1 {
+		t.Errorf("checkpoints_total = %d, want 1", got)
+	}
+	if got := reg.Counter("bitspread_recoveries_total").Value(); got != 1 {
+		t.Errorf("recoveries_total = %d, want 1", got)
+	}
+}
+
+func TestRunObserverNilSafety(t *testing.T) {
+	var o *RunObserver
+	o.ReplicaStart("t", 0)
+	o.ReplicaDone("t", 0, 1, true, "done")
+	o.Checkpoint("t", 0)
+	o.Recovery("t", 0, 1)
+
+	// Counters only, no span writer.
+	reg := NewRegistry()
+	o2 := NewRunObserver(nil, reg)
+	o2.ReplicaStart("t", 0)
+	o2.ReplicaDone("t", 0, 1, true, "done")
+	if got := reg.Counter("bitspread_replicas_total").Value(); got != 1 {
+		t.Errorf("replicas_total = %d, want 1", got)
+	}
+
+	// Spans only, no registry: counters are nil no-ops.
+	var buf strings.Builder
+	o3 := NewRunObserver(NewSpanWriter(&buf), nil)
+	o3.ReplicaDone("t", 0, 1, true, "done")
+
+	var nilSW *SpanWriter
+	if err := nilSW.Close(); err != nil {
+		t.Errorf("nil SpanWriter Close: %v", err)
+	}
+	if err := nilSW.Err(); err != nil {
+		t.Errorf("nil SpanWriter Err: %v", err)
+	}
+}
+
+func TestSpanWriterConcurrent(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	// strings.Builder is not concurrency-safe; wrap it. The SpanWriter
+	// serializes its own encoding, but the test still runs the observer
+	// from many goroutines to exercise the lock under -race.
+	sw := NewSpanWriter(lockedWriter{&mu, &buf})
+	o := NewRunObserver(sw, NewRegistry())
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o.ReplicaStart("t", r)
+			o.ReplicaDone("t", r, int64(r), true, "done")
+		}(r)
+	}
+	wg.Wait()
+	if err := sw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	mu.Lock()
+	spans := decodeSpans(t, buf.String())
+	mu.Unlock()
+	if len(spans) != 2+2*16 {
+		t.Errorf("got %d spans, want %d", len(spans), 2+2*16)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *strings.Builder
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

@@ -63,6 +63,31 @@ type Task struct {
 	Mode     Mode
 	Replicas int
 	Seed     uint64
+	// Observer, if non-nil, receives the task's run-level lifecycle
+	// events (replica start/finish, checkpoint, recovery). Like
+	// Config.Probe it must be safe for concurrent use and never affects
+	// results; it is excluded from TaskKey, so journal resume is
+	// unchanged by attaching one.
+	Observer Observer
+}
+
+// Observer receives run-level lifecycle events from RunContext. The
+// method set uses only primitive argument types so implementations
+// (internal/obs.RunObserver is the standard one) need not import sim.
+// All methods may be called concurrently from the worker pool.
+type Observer interface {
+	// ReplicaStart fires when a replica is handed to an engine (replicas
+	// served from the journal never start).
+	ReplicaStart(task string, replica int)
+	// ReplicaDone fires when a replica finishes, with its round count,
+	// convergence flag and terminal ReplicaState string.
+	ReplicaDone(task string, replica int, rounds int64, converged bool, state string)
+	// Checkpoint fires after a replica's result is flushed to the journal.
+	Checkpoint(task string, replica int)
+	// Recovery fires when a replica of a fault-injected task converges:
+	// rounds is how many rounds past the schedule's horizon consensus was
+	// re-reached — the self-stabilization delay.
+	Recovery(task string, replica int, rounds int64)
 }
 
 // ReplicaState classifies how one replica of a task ended.
@@ -198,11 +223,16 @@ func RunContext(ctx context.Context, t Task, workers int, journal *Journal) (Out
 	}
 
 	st := &taskState{
+		name:    t.Name,
 		results: make([]engine.Result, t.Replicas),
 		states:  make([]ReplicaState, t.Replicas),
 		errs:    make([]error, t.Replicas),
 		ctx:     ctx,
 		journal: journal,
+		obsv:    t.Observer,
+	}
+	if f := t.Config.Faults; f != nil && !f.Empty() {
+		st.faultHorizon = f.Horizon()
 	}
 	if journal != nil {
 		st.key = TaskKey(t)
@@ -237,6 +267,9 @@ func RunContext(ctx context.Context, t Task, workers int, journal *Journal) (Out
 				go func() {
 					defer wg.Done()
 					for i := range next {
+						if st.obsv != nil {
+							st.obsv.ReplicaStart(st.name, i)
+						}
 						res, err := runRecovered(run, cfg, rng.New(seeds[i]))
 						st.classify(i, res, err)
 					}
@@ -257,18 +290,24 @@ func RunContext(ctx context.Context, t Task, workers int, journal *Journal) (Out
 // write disjoint replica slots, so only the journal needs locking (it has
 // its own mutex).
 type taskState struct {
+	name    string
 	results []engine.Result
 	states  []ReplicaState
 	errs    []error
 	ctx     context.Context
 	journal *Journal
 	key     string
+	obsv    Observer
+	// faultHorizon is the task's fault-schedule horizon (0 without
+	// faults); classify uses it to report self-stabilization delays.
+	faultHorizon int64
 
 	mu         sync.Mutex
 	journalErr error
 }
 
-// classify files one finished replica: state, failure cause, checkpoint.
+// classify files one finished replica: state, failure cause, checkpoint,
+// observer events.
 func (st *taskState) classify(i int, res engine.Result, err error) {
 	switch {
 	case err != nil:
@@ -284,14 +323,23 @@ func (st *taskState) classify(i int, res engine.Result, err error) {
 	default:
 		st.results[i] = res
 		if st.journal != nil {
-			if jerr := st.journal.Record(st.key, i, res); jerr != nil {
+			jerr := st.journal.Record(st.key, i, res)
+			if jerr != nil {
 				st.mu.Lock()
 				if st.journalErr == nil {
 					st.journalErr = jerr
 				}
 				st.mu.Unlock()
+			} else if st.obsv != nil {
+				st.obsv.Checkpoint(st.name, i)
 			}
 		}
+		if st.obsv != nil && st.faultHorizon > 0 && res.Converged {
+			st.obsv.Recovery(st.name, i, res.Rounds-st.faultHorizon)
+		}
+	}
+	if st.obsv != nil {
+		st.obsv.ReplicaDone(st.name, i, res.Rounds, res.Converged, st.states[i].String())
 	}
 }
 
@@ -357,6 +405,11 @@ func runParallelBatched(cfg engine.Config, st *taskState, pending []int, seeds [
 			chunkSeeds := make([]uint64, len(chunk))
 			for k, i := range chunk {
 				chunkSeeds[k] = seeds[i]
+				if st.obsv != nil {
+					// The whole chunk advances in lockstep, so its replicas
+					// all start when the batch does.
+					st.obsv.ReplicaStart(st.name, i)
+				}
 			}
 			batch, err := runBatchRecovered(cfg, chunkSeeds)
 			if err == nil {

@@ -11,11 +11,27 @@ import (
 
 // Recorder collects a downsampled trajectory through an engine Record
 // hook. The zero value records nothing; construct with NewRecorder.
+//
+// The recorder always retains the last hooked point: when a run
+// converges at a round that is not a multiple of the sampling stride,
+// the terminal point is appended to Points/Fractions/Plot anyway, so a
+// trajectory ends at consensus instead of up to every-1 rounds early.
+//
+// A *Recorder is also an engine probe (it satisfies the engine Probe
+// contract): RoundDone feeds the trajectory exactly like Hook, and the
+// fault/shard events are ignored. Unlike the atomic obs probes it is NOT
+// safe for concurrent use — attach it to single-run configs only, as
+// Config.Record.
 type Recorder struct {
 	every  int64
 	n      int64
 	rounds []int64
 	counts []int64
+	// Terminal-point retention: the last hooked point, kept even when its
+	// round is not a multiple of every.
+	lastRound int64
+	lastCount int64
+	hasLast   bool
 }
 
 // NewRecorder returns a recorder that keeps every every-th round of a run
@@ -37,26 +53,69 @@ func ForBudget(n, budget int64, points int) *Recorder {
 	return NewRecorder(n, budget/int64(points))
 }
 
-// Hook is the engine-compatible record callback.
+// Hook is the engine-compatible record callback. On a zero-value (or
+// nil) recorder it records nothing — it must never be the hook that
+// crashes a run.
 func (r *Recorder) Hook(round, count int64) {
+	if r == nil || r.every < 1 {
+		return
+	}
+	r.lastRound, r.lastCount, r.hasLast = round, count, true
 	if round%r.every == 0 {
 		r.rounds = append(r.rounds, round)
 		r.counts = append(r.counts, count)
 	}
 }
 
-// Len returns the number of recorded points.
-func (r *Recorder) Len() int { return len(r.counts) }
+// RoundDone implements the engine Probe contract, feeding the trajectory
+// like Hook; the sampled-agent count is not part of a trajectory.
+func (r *Recorder) RoundDone(round, ones, sampled int64) { r.Hook(round, ones) }
 
-// Points returns copies of the recorded rounds and counts.
-func (r *Recorder) Points() (rounds, counts []int64) {
-	return append([]int64(nil), r.rounds...), append([]int64(nil), r.counts...)
+// FaultApplied implements the engine Probe contract; recorders track
+// counts only.
+func (r *Recorder) FaultApplied(round int64) {}
+
+// ShardRound implements the engine Probe contract; recorders track
+// counts only.
+func (r *Recorder) ShardRound(shard int, sampled int64) {}
+
+// points returns the retained trajectory: the downsampled points plus the
+// terminal point when the run ended off-stride. The slices alias internal
+// state (full-slice capped, so an append cannot clobber it); exported
+// accessors copy.
+func (r *Recorder) points() (rounds, counts []int64) {
+	rounds = r.rounds[:len(r.rounds):len(r.rounds)]
+	counts = r.counts[:len(r.counts):len(r.counts)]
+	if r.hasLast && (len(rounds) == 0 || rounds[len(rounds)-1] != r.lastRound) {
+		rounds = append(rounds, r.lastRound)
+		counts = append(counts, r.lastCount)
+	}
+	return rounds, counts
 }
 
-// Fractions returns the recorded one-fractions count/n.
+// Len returns the number of recorded points, the terminal point included.
+func (r *Recorder) Len() int {
+	rounds, _ := r.points()
+	return len(rounds)
+}
+
+// Points returns copies of the recorded rounds and counts, the terminal
+// point included.
+func (r *Recorder) Points() (rounds, counts []int64) {
+	rs, cs := r.points()
+	return append([]int64(nil), rs...), append([]int64(nil), cs...)
+}
+
+// Fractions returns the recorded one-fractions count/n. On a recorder
+// with no population (the zero value) it returns zeros rather than
+// NaN/Inf, so renderings stay well-formed.
 func (r *Recorder) Fractions() []float64 {
-	out := make([]float64, len(r.counts))
-	for i, c := range r.counts {
+	_, counts := r.points()
+	out := make([]float64, len(counts))
+	if r.n <= 0 {
+		return out
+	}
+	for i, c := range counts {
 		out[i] = float64(c) / float64(r.n)
 	}
 	return out
@@ -66,11 +125,11 @@ func (r *Recorder) Fractions() []float64 {
 var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders values in [0, 1] as a block-glyph strip. Values are
-// clamped.
+// clamped; NaN renders as the empty (bottom) glyph.
 func Sparkline(values []float64) string {
 	var b strings.Builder
 	for _, v := range values {
-		if v < 0 {
+		if v != v || v < 0 { // v != v: NaN from a degenerate normalization
 			v = 0
 		}
 		idx := int(v * float64(len(sparkGlyphs)))
@@ -100,7 +159,7 @@ func (r *Recorder) Plot(rows int) string {
 		grid[i] = []byte(strings.Repeat(" ", len(fr)))
 	}
 	for x, v := range fr {
-		if v < 0 {
+		if v != v || v < 0 { // v != v: NaN from a degenerate normalization
 			v = 0
 		} else if v > 1 {
 			v = 1
@@ -124,9 +183,10 @@ func (r *Recorder) Plot(rows int) string {
 		}
 		fmt.Fprintf(&b, "%s%s\n", label, row)
 	}
+	rounds, _ := r.points()
 	lastRound := int64(0)
-	if len(r.rounds) > 0 {
-		lastRound = r.rounds[len(r.rounds)-1]
+	if len(rounds) > 0 {
+		lastRound = rounds[len(rounds)-1]
 	}
 	fmt.Fprintf(&b, "     +%s\n      round 0 .. %d (every %d)\n",
 		strings.Repeat("-", len(fr)), lastRound, r.every)

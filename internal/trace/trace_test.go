@@ -10,15 +10,99 @@ func TestRecorderDownsamples(t *testing.T) {
 	for round := int64(1); round <= 95; round++ {
 		r.Hook(round, round)
 	}
-	if r.Len() != 9 {
-		t.Fatalf("recorded %d points, want 9 (rounds 10..90)", r.Len())
+	// Rounds 10..90 on the stride, plus the retained terminal round 95.
+	if r.Len() != 10 {
+		t.Fatalf("recorded %d points, want 10 (rounds 10..90 + terminal 95)", r.Len())
 	}
 	rounds, counts := r.Points()
 	if rounds[0] != 10 || counts[0] != 10 {
 		t.Errorf("first point = (%d, %d)", rounds[0], counts[0])
 	}
 	if rounds[8] != 90 {
-		t.Errorf("last round = %d", rounds[8])
+		t.Errorf("last stride round = %d", rounds[8])
+	}
+	if rounds[9] != 95 || counts[9] != 95 {
+		t.Errorf("terminal point = (%d, %d), want (95, 95)", rounds[9], counts[9])
+	}
+}
+
+// TestRecorderTerminalRetention is the regression test for the dropped
+// terminal round: a run converging off-stride must still surface its
+// final point, exactly once, without duplicating an on-stride ending.
+func TestRecorderTerminalRetention(t *testing.T) {
+	r := NewRecorder(100, 10)
+	for round := int64(1); round <= 20; round++ {
+		r.Hook(round, round)
+	}
+	// On-stride ending: no duplicate terminal point.
+	rounds, _ := r.Points()
+	if len(rounds) != 2 || rounds[1] != 20 {
+		t.Fatalf("on-stride points = %v, want [10 20]", rounds)
+	}
+	r.Hook(23, 99)
+	rounds, counts := r.Points()
+	if len(rounds) != 3 || rounds[2] != 23 || counts[2] != 99 {
+		t.Fatalf("off-stride points = %v/%v, want terminal (23, 99)", rounds, counts)
+	}
+	if len(r.Fractions()) != 3 {
+		t.Errorf("Fractions len = %d, want 3", len(r.Fractions()))
+	}
+	if !strings.Contains(r.Plot(3), "round 0 .. 23") {
+		t.Errorf("Plot does not reach the terminal round:\n%s", r.Plot(3))
+	}
+	// The terminal point is only the run's LAST point: once a later
+	// on-stride round arrives, the former off-stride tail (23) drops back
+	// out of the downsample.
+	r.Hook(30, 30)
+	rounds, _ = r.Points()
+	if len(rounds) != 3 || rounds[2] != 30 {
+		t.Errorf("points after round 30 = %v, want [10 20 30]", rounds)
+	}
+}
+
+// TestZeroValueRecorderIsInert is the regression test for the zero-value
+// panic: the docs promise "the zero value records nothing", but Hook used
+// to divide by the zero stride.
+func TestZeroValueRecorderIsInert(t *testing.T) {
+	var r Recorder
+	r.Hook(1, 5) // must not panic
+	r.RoundDone(2, 6, 4)
+	if r.Len() != 0 {
+		t.Errorf("zero value recorded %d points", r.Len())
+	}
+	if fr := r.Fractions(); len(fr) != 0 {
+		t.Errorf("zero value fractions = %v", fr)
+	}
+	if got := r.Sparkline(); got != "" {
+		t.Errorf("zero value sparkline = %q", got)
+	}
+	if got := r.Plot(3); !strings.Contains(got, "no points") {
+		t.Errorf("zero value plot = %q", got)
+	}
+	var nilR *Recorder
+	nilR.Hook(1, 5) // nil receiver is inert too
+}
+
+// TestFractionsZeroPopulation is the regression test for the NaN leak: a
+// recorder built without a population must yield zeros, not NaN, and the
+// renderers must survive NaN inputs regardless.
+func TestFractionsZeroPopulation(t *testing.T) {
+	r := &Recorder{every: 1} // hand-rolled: n == 0 but recording enabled
+	r.Hook(1, 5)
+	fr := r.Fractions()
+	if len(fr) != 1 || fr[0] != 0 {
+		t.Errorf("fractions with n=0 = %v, want [0]", fr)
+	}
+	if got := r.Sparkline(); got != "▁" {
+		t.Errorf("sparkline with n=0 = %q", got)
+	}
+	nan := 0.0
+	nan /= nan
+	if got := Sparkline([]float64{nan, 0.5}); got != "▁▅" {
+		t.Errorf("Sparkline with NaN = %q, want %q", got, "▁▅")
+	}
+	if out := r.Plot(3); !strings.Contains(out, "*") {
+		t.Errorf("plot with n=0 lost its point:\n%s", out)
 	}
 }
 
