@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race obs-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents
+.PHONY: build test verify vet-race race-packed obs-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents bench-packed-scale
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ verify: build test
 vet-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/sim/ ./internal/engine/ ./internal/fault/ ./internal/protocol/
+
+# Focused race smoke on the sharded bitset engines: the packed and
+# chunked rounds fan out one goroutine per shard over a shared pair of
+# bitsets (one writer per word by construction), and this runs exactly the
+# tests that exercise those fan-outs under -race. vet-race already covers
+# the whole engine package; this filter keeps a fast signal for the
+# word-ownership invariant itself.
+race-packed:
+	$(GO) test -race -run 'TestPackedSharded|TestPackedDeterministic|TestChunked|TestShardedDeterministic|TestRunAgentsReplicas|TestSeedDeterminismUnderFaults/sharded' ./internal/engine/
 
 # Observability layer under the race detector: the shared metrics
 # registry, the span writer, and the probe/observer wiring through the
@@ -47,7 +56,7 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race obs-race lint fuzz-fault bench-smoke
+ci: verify vet-race race-packed obs-race lint fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).
@@ -66,3 +75,12 @@ bench-engines:
 # agg_speedup fields) to BENCH_engines.json.
 bench-agents:
 	$(GO) run ./cmd/bitbench -suite agents -n 1048576 -out BENCH_engines.json
+
+# Multi-core scaling matrix: GOMAXPROCS × shards × n cells of the packed
+# and chunked engines, each cell recording ns/op and agent-rounds/sec in
+# one JSON record. Axes default to powers of two up to NumCPU, n ∈
+# {2²⁰, 2²⁴} and shards ∈ {1, NumCPU}; override with SCALE_ARGS, e.g.
+# SCALE_ARGS='-scale-ns 4294967296 -scale-shards 4' for a chunked-only
+# huge-n record.
+bench-packed-scale:
+	$(GO) run ./cmd/bitbench -suite packed-scale -out BENCH_engines.json $(SCALE_ARGS)

@@ -109,7 +109,9 @@ type (
 	Result = engine.Result
 	// AgentOptions tunes the literal agent-level simulator; its Shards
 	// field splits the per-round loop across goroutines with independent
-	// split-derived streams (deterministic per (seed, shards)).
+	// split-derived streams (deterministic per (seed, shards)), and its
+	// Chunked field selects the streaming chunked-bitset body that lifts
+	// the packed engine's n < 2³² gate (taken automatically at n ≥ 2³²).
 	AgentOptions = engine.AgentOptions
 	// AdoptCache memoizes a rule's Eq. 4 adopt probabilities per exact
 	// one-count for a fixed population, the engine behind batched replica
@@ -123,9 +125,11 @@ var (
 	RunParallelReplicas = engine.RunParallelReplicas
 	RunSequential       = engine.RunSequential
 	RunAgents           = engine.RunAgents
+	RunAgentsReplicas   = engine.RunAgentsReplicas
 	RunAggregated       = engine.RunAggregated
 	RunAgentsAuto       = engine.RunAgentsAuto
 	CanAggregate        = engine.CanAggregate
+	MaxPackedShards     = engine.MaxPackedShards
 	StepCount           = engine.StepCount
 	StepCountBatch      = engine.StepCountBatch
 	SequentialStep      = engine.SequentialStep

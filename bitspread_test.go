@@ -47,6 +47,37 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAgentEngines exercises the multi-core agent entry points on
+// the facade: the sharded packed engine, the replica batch, and the shard
+// bound they share.
+func TestPublicAgentEngines(t *testing.T) {
+	const n = 256
+	cfg := bitspread.Config{
+		N:    n,
+		Rule: bitspread.Voter(1),
+		Z:    1,
+		X0:   bitspread.WorstCaseInit(n, 1),
+	}
+	if max := bitspread.MaxPackedShards(n); max != n/64 {
+		t.Errorf("MaxPackedShards(%d) = %d, want %d", n, max, n/64)
+	}
+	results, err := bitspread.RunAgentsReplicas(cfg, bitspread.AgentOptions{Shards: 2}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(results))
+	}
+	for i, res := range results {
+		if !res.Converged || res.FinalCount != n {
+			t.Errorf("replica %d did not converge: %+v", i, res)
+		}
+		if res.Shards != 2 {
+			t.Errorf("replica %d reports Shards=%d, want 2", i, res.Shards)
+		}
+	}
+}
+
 func TestPublicTaskRunner(t *testing.T) {
 	out, err := bitspread.RunTask(bitspread.Task{
 		Name: "facade",

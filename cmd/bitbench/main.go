@@ -21,6 +21,8 @@
 //	bitbench -n 262144 -budget 500ms       # bigger instance, longer timing windows
 //	bitbench -out - -budget 20ms           # quick look, write the record to stdout
 //	bitbench -suite agents -cpuprofile cpu.pb.gz   # profile the agent engines
+//	bitbench -suite packed-scale -scale-procs 1,2,4 -scale-shards 1,4
+//	                                       # GOMAXPROCS × shards × n matrix
 package main
 
 import (
@@ -29,9 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +63,10 @@ type measurement struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Ops is how many operations the timing window executed.
 	Ops int64 `json:"ops"`
+	// AgentRoundsPerSec is the throughput unit of the packed-scale suite:
+	// agent-rounds (n × rounds executed) per wall-clock second. Zero for
+	// benchmarks outside that suite.
+	AgentRoundsPerSec float64 `json:"agent_rounds_per_sec,omitempty"`
 }
 
 // record is one line of the trajectory file.
@@ -94,7 +103,10 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		replicas    = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
 		budget      = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
 		maxProcs    = fs.Int("gomaxprocs", runtime.NumCPU(), "GOMAXPROCS for the benchmark run (recorded in the output)")
-		suite       = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), all")
+		suite       = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), packed-scale (GOMAXPROCS × shards × n matrix), all")
+		scaleProcs  = fs.String("scale-procs", "", "packed-scale GOMAXPROCS values, CSV (default: 1,2,4,… up to NumCPU)")
+		scaleNs     = fs.String("scale-ns", "1048576,16777216", "packed-scale population sizes, CSV (n ≥ 2³² runs the chunked path only)")
+		scaleShards = fs.String("scale-shards", "", "packed-scale shard counts, CSV (default: 1 and NumCPU)")
 		metricsPath = fs.String("metrics", "", `attach the standard engine probe to the agent benchmarks and write a metrics snapshot at exit ("-": stdout); measures the instrumented hot path`)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,9 +116,9 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		return fmt.Errorf("population %d too small", *n)
 	}
 	switch *suite {
-	case "engines", "agents", "all":
+	case "engines", "agents", "packed-scale", "all":
 	default:
-		return fmt.Errorf("unknown suite %q (want engines, agents or all)", *suite)
+		return fmt.Errorf("unknown suite %q (want engines, agents, packed-scale or all)", *suite)
 	}
 	if *maxProcs > 0 {
 		runtime.GOMAXPROCS(*maxProcs)
@@ -152,13 +164,18 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 
 	// The benchmarks run in a fixed order; a signal stops the sequence at
 	// the next boundary and whatever finished is still flushed below.
-	type benchSpec struct {
-		key   string
-		bench func() measurement
-	}
 	ells := []int{1, 3, protocol.SqrtNLogN(1).Of(*n)}
 	var specs []benchSpec
-	if *suite != "engines" {
+	if *suite == "packed-scale" {
+		specs, err = packedScaleSpecs(ctx, *scaleProcs, *scaleNs, *scaleShards, *budget)
+		if err != nil {
+			return err
+		}
+		// Each cell sets its own GOMAXPROCS; restore the flag value for
+		// whatever runs after the matrix.
+		defer runtime.GOMAXPROCS(*maxProcs)
+	}
+	if *suite != "engines" && *suite != "packed-scale" {
 		specs = append(specs,
 			benchSpec{"agents/literal", func() measurement {
 				return benchAgents(ctx, *n, engine.AgentOptions{Unpacked: true}, benchProbe, *budget)
@@ -171,7 +188,7 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 			}},
 		)
 	}
-	if *suite != "agents" {
+	if *suite != "agents" && *suite != "packed-scale" {
 		specs = append(specs,
 			benchSpec{"agents/serial", func() measurement {
 				return benchAgents(ctx, *n, engine.AgentOptions{}, benchProbe, *budget)
@@ -228,6 +245,137 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 			len(rec.Benchmarks), len(specs), ctx.Err())
 	}
 	return nil
+}
+
+// benchSpec is one keyed benchmark in the run sequence.
+type benchSpec struct {
+	key   string
+	bench func() measurement
+}
+
+// parseCSVInt64s splits a comma-separated list of positive integers.
+func parseCSVInt64s(spec string) ([]int64, error) {
+	var out []int64
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(field, 10, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad list entry %q (want a positive integer)", field)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", spec)
+	}
+	return out, nil
+}
+
+// defaultScaleProcs is the GOMAXPROCS axis when -scale-procs is empty:
+// powers of two up to NumCPU, plus NumCPU itself.
+func defaultScaleProcs() []int64 {
+	ncpu := int64(runtime.NumCPU())
+	var out []int64
+	for p := int64(1); p < ncpu; p *= 2 {
+		out = append(out, p)
+	}
+	return append(out, ncpu)
+}
+
+// packedScaleSpecs builds the GOMAXPROCS × n × shards benchmark matrix of
+// the packed-scale suite. Each cell pins GOMAXPROCS before timing (the
+// recorded key carries the value, so one record can hold the whole sweep).
+// Shard counts a population cannot satisfy (a shard must own at least one
+// whole bitset word) are skipped, and populations at or above the packed
+// engine's 2³² index-sampling gate run the chunked variant only — the
+// packed variant would be silently routed there anyway.
+func packedScaleSpecs(ctx context.Context, procsCSV, nsCSV, shardsCSV string, budget time.Duration) ([]benchSpec, error) {
+	procs := defaultScaleProcs()
+	if procsCSV != "" {
+		var err error
+		if procs, err = parseCSVInt64s(procsCSV); err != nil {
+			return nil, fmt.Errorf("-scale-procs: %w", err)
+		}
+	}
+	ns, err := parseCSVInt64s(nsCSV)
+	if err != nil {
+		return nil, fmt.Errorf("-scale-ns: %w", err)
+	}
+	for _, n := range ns {
+		if n < 4 {
+			return nil, fmt.Errorf("-scale-ns: population %d too small", n)
+		}
+	}
+	shardAxis := []int64{1, int64(runtime.NumCPU())}
+	if shardsCSV != "" {
+		if shardAxis, err = parseCSVInt64s(shardsCSV); err != nil {
+			return nil, fmt.Errorf("-scale-shards: %w", err)
+		}
+	}
+
+	var specs []benchSpec
+	for _, p := range procs {
+		for _, n := range ns {
+			variants := []struct {
+				name string
+				opts engine.AgentOptions
+			}{
+				{"packed", engine.AgentOptions{}},
+				{"chunked", engine.AgentOptions{Chunked: true}},
+			}
+			if n > int64(math.MaxUint32) {
+				variants = variants[1:]
+			}
+			for _, s := range shardAxis {
+				if s > int64(engine.MaxPackedShards(n)) {
+					continue
+				}
+				for _, v := range variants {
+					p, n, s, opts := int(p), n, int(s), v.opts
+					opts.Shards = s
+					key := fmt.Sprintf("packed-scale/%s/p=%d/shards=%d/n=%d", v.name, p, s, n)
+					specs = append(specs, benchSpec{key, func() measurement {
+						runtime.GOMAXPROCS(p)
+						return benchScaleCell(ctx, n, opts, budget)
+					}})
+				}
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("packed-scale matrix is empty (every shard count exceeds n/64 words?)")
+	}
+	return specs, nil
+}
+
+// benchScaleCell times one packed-scale matrix cell — the two-round
+// Minority(3) instance of benchAgents — and derives the agent-rounds/sec
+// throughput from it.
+func benchScaleCell(ctx context.Context, n int64, opts engine.AgentOptions, budget time.Duration) measurement {
+	cfg := engine.Config{
+		N:         n,
+		Rule:      protocol.Minority(3),
+		Z:         1,
+		X0:        n / 2,
+		MaxRounds: 2,
+	}
+	g := rng.New(1)
+	var rounds int64
+	m := timeIt(ctx, budget, func(iters int) {
+		for i := 0; i < iters; i++ {
+			res, err := engine.RunAgents(cfg, opts, g)
+			if err != nil {
+				panic(err)
+			}
+			rounds = res.Rounds
+		}
+	})
+	if m.NsPerOp > 0 {
+		m.AgentRoundsPerSec = float64(n) * float64(rounds) / m.NsPerOp * 1e9
+	}
+	return m
 }
 
 // flushRecord appends the record to the trajectory file (or stdout) and

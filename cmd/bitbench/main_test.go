@@ -78,6 +78,64 @@ func TestRunStdout(t *testing.T) {
 	}
 }
 
+func TestRunPackedScaleSuite(t *testing.T) {
+	var msg strings.Builder
+	err := run(context.Background(), []string{"-out", "-", "-suite", "packed-scale",
+		"-scale-procs", "1,2", "-scale-ns", "2048,4096", "-scale-shards", "1,3",
+		"-budget", "2ms"}, &msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(msg.String()), &rec); err != nil {
+		t.Fatalf("stdout record not valid JSON: %v\n%s", err, msg.String())
+	}
+	// 2 procs × 2 ns × 2 shard counts × {packed, chunked} = 16 cells.
+	if len(rec.Benchmarks) != 16 {
+		t.Fatalf("packed-scale produced %d cells, want 16: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	for key, m := range rec.Benchmarks {
+		if !strings.HasPrefix(key, "packed-scale/") {
+			t.Errorf("unexpected key %q in packed-scale record", key)
+		}
+		if m.NsPerOp <= 0 || m.Ops <= 0 || m.AgentRoundsPerSec <= 0 {
+			t.Errorf("cell %q missing measurements: %+v", key, m)
+		}
+	}
+	for _, key := range []string{
+		"packed-scale/packed/p=1/shards=1/n=2048",
+		"packed-scale/chunked/p=2/shards=3/n=4096",
+	} {
+		if _, ok := rec.Benchmarks[key]; !ok {
+			t.Errorf("expected cell %q missing", key)
+		}
+	}
+}
+
+func TestRunPackedScaleSkipsUnsatisfiableShards(t *testing.T) {
+	// n=64 is one bitset word: shards=2 cannot give each shard a whole
+	// word, so only the shards=1 cells survive.
+	var msg strings.Builder
+	err := run(context.Background(), []string{"-out", "-", "-suite", "packed-scale",
+		"-scale-procs", "1", "-scale-ns", "64", "-scale-shards", "1,2",
+		"-budget", "1ms"}, &msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(msg.String()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Errorf("want 2 surviving cells (packed+chunked at shards=1), got %+v", rec.Benchmarks)
+	}
+	// And an entirely unsatisfiable matrix is an error, not an empty record.
+	if err := run(context.Background(), []string{"-out", "-", "-suite", "packed-scale",
+		"-scale-ns", "64", "-scale-shards", "2", "-budget", "1ms"}, &msg); err == nil {
+		t.Error("empty packed-scale matrix accepted")
+	}
+}
+
 func TestRunRejectsTinyPopulation(t *testing.T) {
 	var msg strings.Builder
 	if err := run(context.Background(), []string{"-n", "2"}, &msg); err == nil {

@@ -48,8 +48,8 @@ func run(args []string, w io.Writer) (err error) {
 		n         = fs.Int64("n", 1024, "population size (including sources)")
 		z         = fs.Int("z", 1, "correct opinion held by the source")
 		initSpec  = fs.String("init", "worst", "initial configuration: worst, balanced, adversarial, or an explicit count")
-		mode      = fs.String("mode", "parallel", "activation model: parallel, sequential, agents, aggregated")
-		shards    = fs.Int("shards", 1, "agent-engine shards (mode=agents; deterministic per seed+shards)")
+		mode      = fs.String("mode", "parallel", "activation model: parallel, sequential, agents, packed, chunked, aggregated")
+		shards    = fs.Int("shards", 1, "agent-engine shards (mode=agents/packed/chunked; deterministic per seed+shards)")
 		unpacked  = fs.Bool("unpacked", false, "force the historical byte-per-opinion agent engine (mode=agents)")
 		rounds    = fs.Int64("rounds", 0, "round cap (0: default O(n log n))")
 		seed      = fs.Uint64("seed", 1, "random seed")
@@ -130,8 +130,11 @@ func run(args []string, w io.Writer) (err error) {
 	}
 
 	shardNote := ""
-	if *mode == "agents" && *shards > 1 {
-		shardNote = fmt.Sprintf("  shards=%d", *shards)
+	switch *mode {
+	case "agents", "packed", "chunked":
+		if *shards > 1 {
+			shardNote = fmt.Sprintf("  shards=%d", *shards)
+		}
 	}
 	fmt.Fprintf(w, "rule=%v  n=%d  z=%d  X0=%d  mode=%s  seed=%d%s\n",
 		rule, cfg.N, cfg.Z, cfg.X0, *mode, *seed, shardNote)
@@ -148,6 +151,15 @@ func run(args []string, w io.Writer) (err error) {
 		res, err = engine.RunSequential(cfg, g)
 	case "agents":
 		res, err = engine.RunAgents(cfg, engine.AgentOptions{Shards: *shards, Unpacked: *unpacked}, g)
+	case "packed", "chunked":
+		// These modes request an explicit bitset body, so an unsatisfiable
+		// shard count is an error rather than the silent clamp of -mode
+		// agents: a packed shard must own at least one whole 64-bit word.
+		if max := engine.MaxPackedShards(cfg.N); *shards > max {
+			return fmt.Errorf("-shards %d exceeds the bitset limit for n=%d: a shard must own at least one whole word (max %d)",
+				*shards, cfg.N, max)
+		}
+		res, err = engine.RunAgents(cfg, engine.AgentOptions{Shards: *shards, Chunked: *mode == "chunked"}, g)
 	case "aggregated", "aggregate":
 		res, err = engine.RunAggregated(cfg, g)
 	default:

@@ -78,6 +78,45 @@ func TestRunAgentsSharded(t *testing.T) {
 	}
 }
 
+func TestRunPackedAndChunkedModes(t *testing.T) {
+	for _, mode := range []string{"packed", "chunked"} {
+		runOnce := func() string {
+			var out strings.Builder
+			err := run([]string{"-rule", "voter", "-n", "256", "-mode", mode,
+				"-shards", "3", "-init", "worst", "-seed", "5"}, &out)
+			if err != nil {
+				t.Fatalf("%s: %v", mode, err)
+			}
+			return out.String()
+		}
+		got := runOnce()
+		if !strings.Contains(got, "shards=3") {
+			t.Errorf("%s header missing shard count:\n%s", mode, got)
+		}
+		if !strings.Contains(got, "converged in") {
+			t.Errorf("%s mode did not converge:\n%s", mode, got)
+		}
+		if again := runOnce(); again != got {
+			t.Errorf("%s: same (seed, shards) produced different output:\n%s\nvs\n%s", mode, got, again)
+		}
+	}
+}
+
+func TestRunPackedShardLimit(t *testing.T) {
+	// n=64 is a single bitset word, so any shard count above 1 cannot give
+	// every shard a whole word and must be rejected, not clamped.
+	for _, mode := range []string{"packed", "chunked"} {
+		var out strings.Builder
+		err := run([]string{"-rule", "voter", "-n", "64", "-mode", mode, "-shards", "2"}, &out)
+		if err == nil {
+			t.Fatalf("%s: oversubscribed shard count accepted", mode)
+		}
+		if !strings.Contains(err.Error(), "whole word") {
+			t.Errorf("%s: error %q does not explain the word-ownership rule", mode, err)
+		}
+	}
+}
+
 func TestRunNoiseWarns(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-rule", "voter", "-n", "32", "-noise", "0.05", "-rounds", "50"}, &out)

@@ -9,6 +9,7 @@ import "testing"
 
 func TestDetRandFixtures(t *testing.T) {
 	RunFixture(t, DetRand, "detrand.example/internal/engine")
+	RunFixture(t, DetRand, "detrand.example/internal/sim")
 	RunFixture(t, DetRand, "detrand.example/cmd/tool")
 }
 

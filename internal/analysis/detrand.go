@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strconv"
 )
 
@@ -16,11 +17,21 @@ import (
 // legitimate metadata — timestamps in JSON records, progress lines — but
 // must carry a //bitlint:wallclock justification so a reviewer can see
 // the value never feeds a Result.
+//
+// The sharded engines add a third hazard: a goroutine whose closure
+// consumes an *rng.RNG stream shared with any other goroutine is a data
+// race on the stream's state, and even when "benign" it makes the draw
+// order depend on the scheduler. So inside the deterministic packages a
+// `go func(){…}` literal must not reference an *rng.RNG variable declared
+// outside the literal — per-worker streams are derived up front with
+// SplitN (or successive Splits) and handed to each goroutine as a
+// parameter or worker-struct field.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc: "forbid ambient randomness and wall-clock reads: math/rand, crypto/rand, and time.Now/Since/Until " +
 		"are banned in the deterministic packages (randomness only via *rng.RNG); elsewhere wall-clock reads " +
-		"need a //bitlint:wallclock justification",
+		"need a //bitlint:wallclock justification; goroutine literals in deterministic packages must not " +
+		"capture *rng.RNG streams from the enclosing scope (derive per-worker streams with SplitN)",
 	Run: runDetRand,
 }
 
@@ -54,25 +65,81 @@ func runDetRand(p *Pass) error {
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := calleeFunc(p.TypesInfo, call)
-			if fn == nil || funcPkgPath(fn) != "time" || !wallClockFuncs[fn.Name()] {
-				return true
-			}
-			if det {
-				p.Reportf(call.Pos(),
-					"time.%s in deterministic package %s: engines must be pure functions of (seed, Config, Shards)",
-					fn.Name(), p.Pkg.Path())
-			} else {
-				p.ReportOrSuppress(call.Pos(), "wallclock",
-					"time.%s outside the deterministic core: justify with //bitlint:wallclock <reason> that the value is metadata, not simulation state",
-					fn.Name())
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.TypesInfo, node)
+				if fn == nil || funcPkgPath(fn) != "time" || !wallClockFuncs[fn.Name()] {
+					return true
+				}
+				if det {
+					p.Reportf(node.Pos(),
+						"time.%s in deterministic package %s: engines must be pure functions of (seed, Config, Shards)",
+						fn.Name(), p.Pkg.Path())
+				} else {
+					p.ReportOrSuppress(node.Pos(), "wallclock",
+						"time.%s outside the deterministic core: justify with //bitlint:wallclock <reason> that the value is metadata, not simulation state",
+						fn.Name())
+				}
+			case *ast.GoStmt:
+				if !det {
+					return true
+				}
+				if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+					checkSharedStreamCapture(p, lit)
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkSharedStreamCapture flags every *rng.RNG-typed variable a goroutine
+// literal references but does not itself declare: a stream shared across
+// goroutines races on its internal state, so the draw order — and with it
+// the Result — would depend on the scheduler instead of on (seed, Config,
+// Shards). Streams declared inside the literal (parameters included, so
+// the SplitN hand-off idiom passes) and worker structs owning their stream
+// as a field are untouched.
+func checkSharedStreamCapture(p *Pass, lit *ast.FuncLit) {
+	reported := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.TypesInfo.Uses[id].(*types.Var)
+		if !ok || reported[v] || !isRNGStream(v.Type()) {
+			return true
+		}
+		// A struct field is reached through its owner (w.g): whether the
+		// owner is shared is a different question from the one this check
+		// answers, and the worker-struct idiom stores exactly one stream
+		// per worker there on purpose.
+		if v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		reported[v] = true
+		p.Reportf(id.Pos(),
+			"goroutine captures shared RNG stream %q from the enclosing scope: concurrent draws race on the stream state; derive one stream per worker with SplitN before spawning",
+			id.Name)
+		return true
+	})
+}
+
+// isRNGStream reports whether t is rng.RNG or *rng.RNG from the repo's
+// internal/rng package (suffix-matched, so fixture modules qualify too).
+func isRNGStream(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil && isPkgSuffix(obj.Pkg().Path(), "internal/rng")
 }

@@ -1,0 +1,84 @@
+// Fixture: goroutine closures over RNG streams inside a package the
+// path-suffix rule classifies as deterministic core. The good cases pin
+// the blessed per-shard derivation idioms (SplitN hand-off, worker structs
+// owning their stream); the bad cases capture a stream shared with other
+// goroutines.
+package sim
+
+import (
+	"sync"
+
+	"bitspread/internal/rng"
+)
+
+// fanOutSplitN is the blessed sharded-engine idiom: per-worker streams are
+// derived with SplitN before any goroutine starts, and each closure
+// receives its own stream as a parameter — nothing is shared, nothing is
+// flagged.
+func fanOutSplitN(g *rng.RNG, k int) uint64 {
+	streams := g.SplitN(k)
+	out := make([]uint64, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int, gg *rng.RNG) {
+			defer wg.Done()
+			out[i] = gg.Uint64()
+		}(i, streams[i])
+	}
+	wg.Wait()
+	return out[0]
+}
+
+// shardWorker owns its stream as a struct field, the other blessed shape:
+// the closure references the worker, never a bare stream variable.
+type shardWorker struct {
+	g   *rng.RNG
+	out uint64
+}
+
+func fanOutWorkers(g *rng.RNG, k int) {
+	workers := make([]*shardWorker, k)
+	for i, gg := range g.SplitN(k) {
+		workers[i] = &shardWorker{g: gg}
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *shardWorker) {
+			defer wg.Done()
+			w.out = w.g.Uint64()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fanOutShared hammers the one parent stream from every goroutine: the
+// draw order depends on the scheduler, not on the seed.
+func fanOutShared(g *rng.RNG, k int) {
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = g.Uint64() // want "captures shared RNG stream"
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutLocal shows the declaration site does not matter, the sharing
+// does: a stream created in the enclosing function and referenced by the
+// spawned literals is still one stream consumed concurrently.
+func fanOutLocal(k int) {
+	local := rng.New(1)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = local.Uint64() // want "captures shared RNG stream"
+		}()
+	}
+	wg.Wait()
+}

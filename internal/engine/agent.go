@@ -24,6 +24,13 @@ type AgentOptions struct {
 	// The flag exists for benchmarks and equivalence tests, and for
 	// callers that need the historical realization for a fixed seed.
 	Unpacked bool
+	// Chunked forces the streaming chunked-bitset body (see chunked.go),
+	// which samples indices with 64-bit Lemire rejection and therefore has
+	// no n < 2³² ceiling. Populations at or above that ceiling take the
+	// chunked body automatically; the flag exists to exercise it (and its
+	// realization) at small n. Ignored when Unpacked or without-replacement
+	// sampling already forces the historical body.
+	Chunked bool
 }
 
 // effectiveShards resolves the shard count for a population of n agents:
@@ -58,10 +65,16 @@ func RunAgents(cfg Config, opts AgentOptions, g *rng.RNG) (Result, error) {
 	}
 	ell := cfg.Rule.SampleSize()
 	withoutReplacement := opts.WithoutReplacement && ell <= int(cfg.N)
-	shards := opts.effectiveShards(cfg.N)
-	if !opts.Unpacked && !withoutReplacement && cfg.N < packedMaxN {
-		return runAgentsPacked(cfg, shards, g)
+	if !opts.Unpacked && !withoutReplacement {
+		// The packed bodies resolve the shard count themselves (a shard
+		// must own at least one whole bitset word; Result.Shards reports
+		// the resolved value).
+		if opts.Chunked || cfg.N >= packedMaxN {
+			return runAgentsChunked(cfg, opts.Shards, g)
+		}
+		return runAgentsPacked(cfg, opts.Shards, g)
 	}
+	shards := opts.effectiveShards(cfg.N)
 	if shards > 1 {
 		return runAgentsSharded(cfg, opts, shards, g)
 	}

@@ -133,9 +133,11 @@ func splitAdopt(m int64, pmf, tbl []float64, g *rng.RNG) int64 {
 // CanAggregate reports whether the aggregated engine can serve the given
 // agent options exactly: it cannot express per-agent identity, so
 // without-replacement sampling (each agent's samples must be distinct
-// *agents*) forces the literal engine.
+// *agents*) forces the literal engine. Options that request a specific
+// literal body (Unpacked, Chunked) also route literal — the caller asked
+// for that body's realization, not merely its distribution.
 func CanAggregate(opts AgentOptions) bool {
-	return !opts.WithoutReplacement
+	return !opts.WithoutReplacement && !opts.Unpacked && !opts.Chunked
 }
 
 // RunAgentsAuto routes an agent-level configuration to the fastest exact

@@ -447,3 +447,66 @@ func TestWithoutReplacementCrossCheck(t *testing.T) {
 			mean, with, wantMean)
 	}
 }
+
+// TestResultShardsReported: every engine reports the effective stream
+// count in Result.Shards — 0 for the single-stream count-level,
+// sequential and aggregated engines; the resolved shard count for the
+// agent engines (n-1-clamped for the unpacked bodies, word-clamped for
+// the packed and chunked ones). The requested and effective values differ
+// exactly when the request exceeds the engine's ceiling.
+func TestResultShardsReported(t *testing.T) {
+	cfg := Config{N: 200, Rule: protocol.Voter(1), Z: 1, X0: 100, MaxRounds: 2}
+	words := packedWords(200)
+	cases := []struct {
+		name string
+		run  func() (Result, error)
+		want int
+	}{
+		{"count", func() (Result, error) { return RunParallel(cfg, rng.New(1)) }, 0},
+		{"sequential", func() (Result, error) { return RunSequential(cfg, rng.New(1)) }, 0},
+		{"aggregated", func() (Result, error) { return RunAggregated(cfg, rng.New(1)) }, 0},
+		{"unpacked-serial", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Unpacked: true}, rng.New(1))
+		}, 1},
+		{"unpacked-sharded", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Unpacked: true, Shards: 4}, rng.New(1))
+		}, 4},
+		{"unpacked-overclamped", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Unpacked: true, Shards: 1000}, rng.New(1))
+		}, 199},
+		{"packed-serial", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{}, rng.New(1))
+		}, 1},
+		{"packed-sharded", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Shards: 3}, rng.New(1))
+		}, 3},
+		{"packed-overclamped", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Shards: 1000}, rng.New(1))
+		}, words},
+		{"chunked-sharded", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Chunked: true, Shards: 3}, rng.New(1))
+		}, 3},
+		{"chunked-overclamped", func() (Result, error) {
+			return RunAgents(cfg, AgentOptions{Chunked: true, Shards: 1000}, rng.New(1))
+		}, words},
+	}
+	for _, tc := range cases {
+		res, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Shards != tc.want {
+			t.Errorf("%s: Result.Shards = %d, want %d", tc.name, res.Shards, tc.want)
+		}
+	}
+
+	batch, err := RunAgentsReplicas(cfg, AgentOptions{Shards: 1000}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range batch {
+		if res.Shards != words {
+			t.Errorf("replica %d: Result.Shards = %d, want %d", i, res.Shards, words)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package engine_test
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -30,14 +31,19 @@ type chiEngine struct {
 }
 
 func chiEngines() []chiEngine {
+	agents := func(opts engine.AgentOptions) func(engine.Config, *rng.RNG) (engine.Result, error) {
+		return func(cfg engine.Config, g *rng.RNG) (engine.Result, error) {
+			return engine.RunAgents(cfg, opts, g)
+		}
+	}
 	return []chiEngine{
 		{"count", engine.RunParallel},
-		{"literal", func(cfg engine.Config, g *rng.RNG) (engine.Result, error) {
-			return engine.RunAgents(cfg, engine.AgentOptions{Unpacked: true}, g)
-		}},
-		{"packed", func(cfg engine.Config, g *rng.RNG) (engine.Result, error) {
-			return engine.RunAgents(cfg, engine.AgentOptions{}, g)
-		}},
+		{"literal", agents(engine.AgentOptions{Unpacked: true})},
+		{"packed", agents(engine.AgentOptions{})},
+		{"packed-sharded", agents(engine.AgentOptions{Shards: 3})},
+		{"packed-sharded-ncpu", agents(engine.AgentOptions{Shards: runtime.NumCPU()})},
+		{"chunked", agents(engine.AgentOptions{Chunked: true})},
+		{"chunked-sharded", agents(engine.AgentOptions{Chunked: true, Shards: 3})},
 		{"aggregated", engine.RunAggregated},
 	}
 }
@@ -124,6 +130,9 @@ func TestEngineEquivalenceChiSquare(t *testing.T) {
 		reps  = 1500
 		alpha = 0.01
 	)
+	// 128-agent chunks put a chunk boundary inside the population, so the
+	// chunked engines are compared on their multi-chunk code paths.
+	defer engine.SetChunkShiftForTest(7)()
 	schedules := map[string]*fault.Schedule{
 		"none":         nil,
 		"stubborn":     fault.Must(fault.StubbornFor(1, 2, 0.25, 0)),

@@ -172,18 +172,70 @@ func packedBoundary(f Perturber, t int64, z int, cur []uint64, n int, scratch []
 	return src, scratch
 }
 
+// lineWords is the cache-line granularity of shard ownership: 8 words of
+// 64 opinions each, so one shard's round flips never dirty a cache line
+// another shard writes (false-sharing-free by construction, not by luck).
+const lineWords = 8
+
+// packedWordBounds partitions nWords bitset words into shards contiguous
+// ranges: bounds[s] is the first word of shard s and bounds[shards] ==
+// nWords. Ranges are aligned to cache-line (8-word) multiples whenever
+// shards ≤ lines, so concurrent round flips are false-sharing-free; with
+// more shards than lines the split degrades to word granularity (still
+// write-exclusive per word, never per bit). Callers must clamp shards to
+// [1, nWords] first (packedEffectiveShards), which guarantees every
+// shard at least one whole word.
+func packedWordBounds(nWords, shards int) []int {
+	bounds := make([]int, shards+1)
+	lines := (nWords + lineWords - 1) / lineWords
+	if shards <= lines {
+		for s := 1; s < shards; s++ {
+			bounds[s] = (s * lines / shards) * lineWords
+		}
+	} else {
+		for s := 1; s < shards; s++ {
+			bounds[s] = s * nWords / shards
+		}
+	}
+	bounds[shards] = nWords
+	return bounds
+}
+
+// MaxPackedShards returns the largest usable shard count of the packed
+// engines (bit-packed and chunked) for a population of n agents: one shard
+// per 64-opinion bitset word, because a shard must own at least one whole
+// word to keep round flips write-exclusive. Requests above it are clamped —
+// Result.Shards reports the resolved value — and front-ends may prefer to
+// reject them outright (bitsim does).
+func MaxPackedShards(n int64) int { return int((n + 63) >> 6) }
+
+// packedEffectiveShards clamps a requested shard count to [1, nWords]: a
+// packed shard owns whole 64-opinion words, so there can be no more
+// shards than words. Result.Shards reports this resolved value.
+func packedEffectiveShards(requested, nWords int) int {
+	if requested > nWords {
+		requested = nWords
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
 // packedWorker is one agent range of the packed engine: the serial engine
 // is a single worker spanning [1, n) on the main stream; the sharded
-// engine runs one per shard on Split-derived streams, matching the
-// stream layout of the unpacked agentShard.
+// engine runs one per shard on Split-derived streams over word-aligned
+// ranges (packedWordBounds), so every bitset word has exactly one writer
+// and rounds need no partial-word merge. The trailing pad keeps the
+// per-round count/sampled stores of adjacent workers on distinct cache
+// lines (the workers are small heap objects that would otherwise share
+// one).
 type packedWorker struct {
 	lo, hi  int // agent index range [lo, hi)
 	s       *halfStream
 	count   int64
 	sampled int64
-	nParts  int
-	partIdx [2]int
-	partBit [2]uint64
+	_       [11]uint64 // pad to 128 B: no false sharing between workers
 }
 
 // stepDet advances the worker's agent range one packed round in the
@@ -203,7 +255,7 @@ type packedWorker struct {
 // refill: the borrow of a 64-bit subtract accumulates k, and a mask
 // select replaces the adoption branch on a random k, which mispredicts
 // half the time for minority-style rules.
-func (w *packedWorker) stepDet(cur, next []uint64, n int, det0, det1 uint64, kThr []uint64) {
+func (w *packedWorker) stepDet(cur, next []uint64, det0, det1 uint64, kThr []uint64) {
 	s := w.s
 	buf := &s.buf
 	pos := s.pos
@@ -212,7 +264,6 @@ func (w *packedWorker) stepDet(cur, next []uint64, n int, det0, det1 uint64, kTh
 		pos++ // align to a word boundary; one unused half is discarded
 	}
 	var count int64
-	w.nParts = 0
 	acc := uint64(0)
 	wordIdx := w.lo >> 6
 	xorMask := det0 ^ det1
@@ -257,7 +308,7 @@ func (w *packedWorker) stepDet(cur, next []uint64, n int, det0, det1 uint64, kTh
 				acc |= bit << o
 				o++
 			}
-			w.flushWord(next, wordIdx, acc, n)
+			next[wordIdx] = acc
 			count += int64(bits.OnesCount64(acc))
 			acc = 0
 			wordIdx++
@@ -282,7 +333,7 @@ func (w *packedWorker) stepDet(cur, next []uint64, n int, det0, det1 uint64, kTh
 			acc |= bit << (uint(i) & 63)
 			count += int64(bit)
 			if i&63 == 63 || i == w.hi-1 {
-				w.flushWord(next, wordIdx, acc, n)
+				next[wordIdx] = acc
 				acc = 0
 				wordIdx++
 			}
@@ -331,7 +382,6 @@ func (w *packedWorker) step(cur, next []uint64, n, ell int, thr0, thr1 []uint64,
 	pos := s.pos
 	g := s.g
 	var count, sampled int64
-	w.nParts = 0
 	acc := uint64(0)
 	wordIdx := w.lo >> 6
 	for i := w.lo; i < w.hi; i++ {
@@ -415,7 +465,7 @@ func (w *packedWorker) step(cur, next []uint64, n, ell int, thr0, thr1 []uint64,
 		acc |= bit << (uint(i) & 63)
 		count += int64(bit)
 		if i&63 == 63 || i == w.hi-1 {
-			w.flushWord(next, wordIdx, acc, n)
+			next[wordIdx] = acc
 			acc = 0
 			wordIdx++
 		}
@@ -425,183 +475,233 @@ func (w *packedWorker) step(cur, next []uint64, n, ell int, thr0, thr1 []uint64,
 	w.sampled = sampled
 }
 
-// flushWord stores a completed word: directly when every live bit of the
-// word belongs to this worker, otherwise as a partial for the coordinator
-// to merge (bit 0 is the coordinator-owned source bit, bits ≥ n are dead).
-func (w *packedWorker) flushWord(next []uint64, wordIdx int, bitsWord uint64, n int) {
-	liveStart := wordIdx << 6
-	if liveStart == 0 {
-		liveStart = 1 // the source bit belongs to the coordinator
-	}
-	liveEnd := wordIdx<<6 + 63
-	if liveEnd > n-1 {
-		liveEnd = n - 1
-	}
-	if liveStart >= w.lo && liveEnd < w.hi {
-		next[wordIdx] = bitsWord
-		return
-	}
-	w.partIdx[w.nParts] = wordIdx
-	w.partBit[w.nParts] = bitsWord
-	w.nParts++
+// packedParams is the per-Config immutable context of the packed engine:
+// everything derived from (Config, shards) without consuming randomness.
+// One packedParams can drive many replicas (RunAgentsReplicas), each with
+// its own packedState.
+type packedParams struct {
+	cfg        Config
+	n          int
+	ell        int
+	shards     int // resolved shard count (packedEffectiveShards)
+	absorbing  bool
+	target     int64
+	trap       int64
+	roundCap   int64
+	horizon    int64
+	faults     Perturber
+	thr0, thr1 []uint64
+	det0, det1 uint64
+	detOK      bool
 }
 
-// runAgentsPacked is the bit-packed body of RunAgents, serial for
-// shards == 1 and sharded otherwise. Both are deterministic in
-// (seed, Config, shards) and draw from the same per-round distribution
-// as the unpacked bodies.
-func runAgentsPacked(cfg Config, shards int, g *rng.RNG) (Result, error) {
-	absorbing := cfg.Rule.CheckProp3() == nil
-	target := consensusTarget(cfg.N, cfg.Z)
-	trap := wrongTrap(cfg.N, cfg.Z)
-	roundCap := cfg.maxRounds()
-	ell := cfg.Rule.SampleSize()
-	n := int(cfg.N)
-	faults := cfg.perturber()
-	horizon := faultHorizon(faults)
-
-	// The main half stream serves initialization and, in the serial
-	// case, the round loop itself. Its block pre-draws words, so the
-	// generator may end up advanced past the variates actually consumed;
-	// chained runs on one generator should Split it per run.
-	main := newHalfStream(g)
-	cur := packedInitialOpinions(cfg, main)
-	next := make([]uint64, len(cur))
-	x := cfg.X0
-
-	res := Result{FinalCount: x, Shards: shards}
-	if x == target && absorbing && horizon == 0 {
-		res.Converged = true
-		return res, nil
+func newPackedParams(cfg Config, requestedShards int) *packedParams {
+	p := &packedParams{
+		cfg:       cfg,
+		n:         int(cfg.N),
+		ell:       cfg.Rule.SampleSize(),
+		absorbing: cfg.Rule.CheckProp3() == nil,
+		target:    consensusTarget(cfg.N, cfg.Z),
+		trap:      wrongTrap(cfg.N, cfg.Z),
+		roundCap:  cfg.maxRounds(),
+		faults:    cfg.perturber(),
 	}
-
+	p.shards = packedEffectiveShards(requestedShards, packedWords(p.n))
+	p.horizon = faultHorizon(p.faults)
 	g0, g1 := cfg.Rule.Tables()
-	thr0 := make([]uint64, ell+1)
-	thr1 := make([]uint64, ell+1)
-	for k := 0; k <= ell; k++ {
-		thr0[k] = rng.BernoulliThreshold(g0[k])
-		thr1[k] = rng.BernoulliThreshold(g1[k])
+	p.thr0 = make([]uint64, p.ell+1)
+	p.thr1 = make([]uint64, p.ell+1)
+	for k := 0; k <= p.ell; k++ {
+		p.thr0[k] = rng.BernoulliThreshold(g0[k])
+		p.thr1[k] = rng.BernoulliThreshold(g1[k])
 	}
-	det0, det1, detOK := detMasks(thr0, thr1)
-	var pmf []float64
-	var kThr []uint64
-	if detOK {
-		pmf = make([]float64, ell+1)
-		kThr = make([]uint64, ell)
-	}
+	p.det0, p.det1, p.detOK = detMasks(p.thr0, p.thr1)
+	return p
+}
 
-	workers := make([]*packedWorker, shards)
-	if shards == 1 {
-		workers[0] = &packedWorker{lo: 1, hi: n, s: main}
+// packedState is one replica of the packed engine: its generator, bitsets,
+// workers and partial Result.
+type packedState struct {
+	g         *rng.RNG
+	cur, next []uint64
+	x         int64
+	scratch   []uint8
+	workers   []*packedWorker
+	pmf       []float64
+	kThr      []uint64
+	wg        sync.WaitGroup
+	res       Result
+}
+
+// newState draws a replica's initial configuration from g and lays out its
+// workers. The main half stream serves initialization and, in the serial
+// case, the round loop itself. Its block pre-draws words, so the generator
+// may end up advanced past the variates actually consumed; chained runs on
+// one generator should Split it per run. Shard streams are derived after
+// initialization (SplitN on the same generator), so a given seed yields
+// the same starting layout at every shard count.
+func (p *packedParams) newState(g *rng.RNG) *packedState {
+	main := newHalfStream(g)
+	st := &packedState{g: g, cur: packedInitialOpinions(p.cfg, main), x: p.cfg.X0}
+	st.next = make([]uint64, len(st.cur))
+	st.res = Result{FinalCount: st.x, Shards: p.shards}
+	if st.x == p.target && p.absorbing && p.horizon == 0 {
+		st.res.Converged = true
+		return st
+	}
+	if p.detOK {
+		st.pmf = make([]float64, p.ell+1)
+		st.kThr = make([]uint64, p.ell)
+	}
+	st.workers = make([]*packedWorker, p.shards)
+	if p.shards == 1 {
+		st.workers[0] = &packedWorker{lo: 1, hi: p.n, s: main}
 	} else {
-		for s := range workers {
-			lo := 1 + s*(n-1)/shards
-			hi := 1 + (s+1)*(n-1)/shards
-			// Each shard consumes its own Split-derived stream; boundary
-			// draws stay on the main stream, so rounds are reproducible
-			// for a given (seed, shards) regardless of scheduling.
-			workers[s] = &packedWorker{lo: lo, hi: hi, s: newHalfStream(g.Split())}
+		// Word-aligned, cache-line-padded agent ranges: every bitset word
+		// has exactly one writer and shard ranges start on 64-byte
+		// boundaries. Each shard consumes its own Split-derived stream;
+		// boundary draws stay on the main generator, so rounds are
+		// reproducible for a given (seed, Shards) regardless of
+		// GOMAXPROCS or scheduling.
+		bounds := packedWordBounds(len(st.cur), p.shards)
+		streams := g.SplitN(p.shards)
+		for s := range st.workers {
+			lo := bounds[s] << 6
+			if lo == 0 {
+				lo = 1 // bit 0 is the coordinator-owned source bit
+			}
+			hi := bounds[s+1] << 6
+			if hi > p.n {
+				hi = p.n
+			}
+			st.workers[s] = &packedWorker{lo: lo, hi: hi, s: newHalfStream(streams[s])}
 		}
 	}
+	return st
+}
 
-	var scratch []uint8
-	var wg sync.WaitGroup
-	for t := int64(1); t <= roundCap; t++ {
-		if cfg.Halt != nil && cfg.Halt() {
-			res.Interrupted = true
-			return res, nil
+// stateKThr fills the replica-local inverse-CDF threshold table for
+// one-count x; the solo runner's kThrFunc.
+func (p *packedParams) stateKThr(st *packedState, x int64) []uint64 {
+	protocol.SampleCountPMF(p.ell, float64(x)/float64(p.cfg.N), st.pmf)
+	cdf := 0.0
+	for m := 0; m < p.ell; m++ {
+		cdf += st.pmf[m]
+		st.kThr[m] = rng.BernoulliThreshold(cdf)
+	}
+	return st.kThr
+}
+
+// kThrFunc supplies the deterministic-regime threshold table for a given
+// one-count. The solo runner computes it in place (stateKThr); the
+// replica-batched runner memoizes it per distinct count, which is exact —
+// the table is a pure function of x — so batched and solo trajectories
+// coincide realization-by-realization.
+type kThrFunc func(st *packedState, x int64) []uint64
+
+// round advances one replica a single parallel round and reports whether
+// the run is finished (converged). The caller owns the Halt poll.
+func (p *packedParams) round(st *packedState, t int64, thresholds kThrFunc) (done bool) {
+	cfg := &p.cfg
+	src := cfg.Z
+	var omitThr uint64
+	pinnedEnd := 1
+	if p.faults != nil {
+		src, st.scratch = packedBoundary(p.faults, t, cfg.Z, st.cur, p.n, st.scratch, st.g)
+		if q := p.faults.OmitProb(t); q > 0 {
+			omitThr = rng.BernoulliThreshold(q)
 		}
-		src := cfg.Z
-		var omitThr uint64
-		pinnedEnd := 1
-		if faults != nil {
-			src, scratch = packedBoundary(faults, t, cfg.Z, cur, n, scratch, g)
-			if q := faults.OmitProb(t); q > 0 {
-				omitThr = rng.BernoulliThreshold(q)
-			}
-			s1, s0 := faults.Stubborn(t, cfg.N)
-			pinnedEnd = 1 + int(s1) + int(s0)
+		s1, s0 := p.faults.Stubborn(t, cfg.N)
+		pinnedEnd = 1 + int(s1) + int(s0)
+	}
+	det := p.detOK && omitThr == 0 && pinnedEnd == 1
+	var kThr []uint64
+	if det {
+		// The inverse-CDF thresholds condition on the one-count the
+		// agents actually sample from; a fault boundary may just have
+		// rewritten the bitset, so recount it then.
+		xs := st.x
+		if p.faults != nil {
+			xs = packedCount(st.cur)
 		}
-		det := detOK && omitThr == 0 && pinnedEnd == 1
+		kThr = thresholds(st, xs)
+	}
+	if p.shards == 1 {
 		if det {
-			// The inverse-CDF thresholds condition on the one-count the
-			// agents actually sample from; a fault boundary may just have
-			// rewritten the bitset, so recount it then.
-			xs := x
-			if faults != nil {
-				xs = packedCount(cur)
-			}
-			protocol.SampleCountPMF(ell, float64(xs)/float64(cfg.N), pmf)
-			cdf := 0.0
-			for m := 0; m < ell; m++ {
-				cdf += pmf[m]
-				kThr[m] = rng.BernoulliThreshold(cdf)
-			}
-		}
-		if shards == 1 {
-			if det {
-				workers[0].stepDet(cur, next, n, det0, det1, kThr)
-			} else {
-				workers[0].step(cur, next, n, ell, thr0, thr1, omitThr, pinnedEnd)
-			}
+			st.workers[0].stepDet(st.cur, st.next, p.det0, p.det1, kThr)
 		} else {
-			for _, w := range workers {
-				wg.Add(1)
-				go func(w *packedWorker) {
-					defer wg.Done()
-					if det {
-						w.stepDet(cur, next, n, det0, det1, kThr)
-					} else {
-						w.step(cur, next, n, ell, thr0, thr1, omitThr, pinnedEnd)
-					}
-				}(w)
-			}
-			wg.Wait()
+			st.workers[0].step(st.cur, st.next, p.n, p.ell, p.thr0, p.thr1, omitThr, pinnedEnd)
 		}
-
-		// Merge the shared boundary words: zero them first (partials of
-		// distinct workers never overlap bit-wise, so OR order is free),
-		// then OR the partials and the coordinator-owned source bit.
-		for _, w := range workers {
-			for p := 0; p < w.nParts; p++ {
-				next[w.partIdx[p]] = 0
-			}
-		}
-		count := int64(0)
-		var roundSampled int64
-		for _, w := range workers {
-			for p := 0; p < w.nParts; p++ {
-				next[w.partIdx[p]] |= w.partBit[p]
-			}
-			count += w.count
-			roundSampled += w.sampled
-		}
-		res.Activations += roundSampled
-		next[0] = next[0]&^1 | uint64(src)
-		count += int64(src)
-
-		cur, next = next, cur
-		x = count
-		res.Rounds = t
-		res.FinalCount = x
-		if x == trap {
-			res.HitWrongConsensus = true
-		}
-		if cfg.Record != nil {
-			cfg.Record(t, x)
-		}
-		if cfg.Probe != nil {
-			if shards > 1 {
-				for s, w := range workers {
-					cfg.Probe.ShardRound(s, w.sampled)
+	} else {
+		for _, w := range st.workers {
+			st.wg.Add(1)
+			go func(w *packedWorker) {
+				defer st.wg.Done()
+				if det {
+					w.stepDet(st.cur, st.next, p.det0, p.det1, kThr)
+				} else {
+					w.step(st.cur, st.next, p.n, p.ell, p.thr0, p.thr1, omitThr, pinnedEnd)
 				}
-			}
-			probeRound(cfg.Probe, faults, t, cfg.Z, src, x, roundSampled)
+			}(w)
 		}
-		if x == target && absorbing && t >= horizon {
-			res.Converged = true
-			return res, nil
+		st.wg.Wait()
+	}
+
+	// Fixed-order reduction of the per-shard counts, then the
+	// coordinator-owned source bit.
+	count := int64(0)
+	var roundSampled int64
+	for _, w := range st.workers {
+		count += w.count
+		roundSampled += w.sampled
+	}
+	st.res.Activations += roundSampled
+	st.next[0] = st.next[0]&^1 | uint64(src)
+	count += int64(src)
+
+	st.cur, st.next = st.next, st.cur
+	st.x = count
+	st.res.Rounds = t
+	st.res.FinalCount = st.x
+	if st.x == p.trap {
+		st.res.HitWrongConsensus = true
+	}
+	if cfg.Record != nil {
+		cfg.Record(t, st.x)
+	}
+	if cfg.Probe != nil {
+		if p.shards > 1 {
+			for s, w := range st.workers {
+				cfg.Probe.ShardRound(s, w.sampled)
+			}
+		}
+		probeRound(cfg.Probe, p.faults, t, cfg.Z, src, st.x, roundSampled)
+	}
+	if st.x == p.target && p.absorbing && t >= p.horizon {
+		st.res.Converged = true
+		return true
+	}
+	return false
+}
+
+// runAgentsPacked is the bit-packed body of RunAgents, serial for resolved
+// shards == 1 and sharded otherwise. Both are deterministic in
+// (seed, Config, Shards) and draw from the same per-round distribution
+// as the unpacked bodies.
+func runAgentsPacked(cfg Config, requestedShards int, g *rng.RNG) (Result, error) {
+	p := newPackedParams(cfg, requestedShards)
+	st := p.newState(g)
+	if st.res.Converged {
+		return st.res, nil
+	}
+	for t := int64(1); t <= p.roundCap; t++ {
+		if cfg.Halt != nil && cfg.Halt() {
+			st.res.Interrupted = true
+			return st.res, nil
+		}
+		if p.round(st, t, p.stateKThr) {
+			break
 		}
 	}
-	return res, nil
+	return st.res, nil
 }

@@ -32,6 +32,55 @@ func runAgentsTraced(t *testing.T, cfg engine.Config, opts engine.AgentOptions, 
 	return res, traj
 }
 
+// The serial packed realization is frozen: these trajectories were
+// captured from the pre-refactor single-worker engine, and the sharded
+// rewrite (word-aligned worker ranges, factored round loop) must keep
+// shards≤1 byte-identical to them. Covers the deterministic fast regime,
+// the general body under noise + omission faults, and an odd-n Voter run
+// whose final word is partial.
+func TestPackedSerialGolden(t *testing.T) {
+	sched := fault.Must(fault.OmissionFor(3, 2, 0.5))
+	cases := []struct {
+		name        string
+		cfg         engine.Config
+		seed        uint64
+		final, acts int64
+		traj        []int64
+	}{
+		{
+			"det",
+			engine.Config{N: 300, Rule: protocol.Minority(3), Z: 1, X0: 150, MaxRounds: 16},
+			42, 149, 4784,
+			[]int64{142, 148, 149, 146, 154, 126, 149, 153, 147, 145, 138, 147, 162, 139, 150, 149},
+		},
+		{
+			"noisy",
+			engine.Config{N: 300, Rule: protocol.WithNoise(protocol.Minority(3), 0.1), Z: 1, X0: 150, MaxRounds: 16, Faults: sched},
+			42, 154, 4480,
+			[]int64{152, 162, 154, 160, 160, 154, 143, 150, 158, 152, 156, 166, 149, 138, 162, 154},
+		},
+		{
+			"voter",
+			engine.Config{N: 257, Rule: protocol.Voter(1), Z: 1, X0: 128, MaxRounds: 16},
+			7, 156, 4096,
+			[]int64{127, 137, 143, 143, 146, 158, 152, 157, 150, 144, 133, 144, 155, 159, 156, 156},
+		},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{0, 1} {
+			res, traj := runAgentsTraced(t, tc.cfg, engine.AgentOptions{Shards: shards}, tc.seed)
+			if res.FinalCount != tc.final || res.Activations != tc.acts || res.Rounds != 16 {
+				t.Errorf("%s/shards=%d: got final=%d rounds=%d activations=%d, want final=%d rounds=16 activations=%d",
+					tc.name, shards, res.FinalCount, res.Rounds, res.Activations, tc.final, tc.acts)
+			}
+			if !reflect.DeepEqual(traj, tc.traj) {
+				t.Errorf("%s/shards=%d: trajectory diverged from frozen serial realization\ngot  %v\nwant %v",
+					tc.name, shards, traj, tc.traj)
+			}
+		}
+	}
+}
+
 // The packed engine is deterministic in (seed, Config, Shards): same
 // inputs, same Result and same trajectory — including under every fault
 // family, whose boundary draws interleave with the packed stream.

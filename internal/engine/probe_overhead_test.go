@@ -46,3 +46,37 @@ func TestProbePathAllocationFree(t *testing.T) {
 			plain, instrumented)
 	}
 }
+
+// The packed sharded path emits ShardRound events from the coordinator
+// after the per-round barrier; the emission sites must stay nil-guarded
+// and allocation-free, like every probe call site.
+func TestShardRoundProbeAllocationFree(t *testing.T) {
+	cfg := engine.Config{
+		N:         1 << 12,
+		Rule:      protocol.Voter(3),
+		Z:         1,
+		X0:        1 << 11,
+		MaxRounds: 64,
+	}
+	opts := engine.AgentOptions{Shards: 4}
+	g := rng.New(5)
+	plain := testing.AllocsPerRun(10, func() {
+		if _, err := engine.RunAgents(cfg, opts, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	probed := cfg
+	probed.Probe = obs.NewMetrics(obs.NewRegistry())
+	g2 := rng.New(5)
+	instrumented := testing.AllocsPerRun(10, func() {
+		if _, err := engine.RunAgents(probed, opts, g2); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	if instrumented > plain {
+		t.Errorf("ShardRound probe path added allocations: plain=%.1f instrumented=%.1f per run",
+			plain, instrumented)
+	}
+}

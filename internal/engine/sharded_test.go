@@ -66,8 +66,10 @@ func TestShardedDeterministic(t *testing.T) {
 		if resA != resB {
 			t.Errorf("shards=%d: results differ: %+v vs %+v", shards, resA, resB)
 		}
-		if resA.Shards != shards {
-			t.Errorf("shards=%d: Result.Shards = %d", shards, resA.Shards)
+		// The packed engine serves this configuration and clamps the shard
+		// count to one shard per bitset word.
+		if want := packedEffectiveShards(shards, packedWords(200)); resA.Shards != want {
+			t.Errorf("shards=%d: Result.Shards = %d, want %d", shards, resA.Shards, want)
 		}
 		for i := range trajA {
 			if trajA[i] != trajB[i] {
@@ -77,16 +79,25 @@ func TestShardedDeterministic(t *testing.T) {
 	}
 }
 
-// TestShardedClampAndConvergence: shard counts above n-1 are clamped, and
-// the sharded engine still detects absorption and the wrong-consensus trap.
+// TestShardedClampAndConvergence: shard counts above the engine's ceiling
+// are clamped — n-1 for the unpacked engine, one per bitset word for the
+// packed one — and the sharded engine still detects absorption and the
+// wrong-consensus trap.
 func TestShardedClampAndConvergence(t *testing.T) {
 	cfg := Config{N: 16, Rule: protocol.Voter(2), Z: 0, X0: 15}
+	ures, err := RunAgents(cfg, AgentOptions{Shards: 1000, Unpacked: true}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.Shards != 15 {
+		t.Errorf("unpacked Shards = %d, want clamp to n-1 = 15", ures.Shards)
+	}
 	res, err := RunAgents(cfg, AgentOptions{Shards: 1000}, rng.New(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Shards != 15 {
-		t.Errorf("Shards = %d, want clamp to n-1 = 15", res.Shards)
+	if want := MaxPackedShards(16); res.Shards != want {
+		t.Errorf("packed Shards = %d, want clamp to one per word = %d", res.Shards, want)
 	}
 	if !res.Converged || res.FinalCount != 0 {
 		t.Errorf("sharded Voter did not converge: %+v", res)

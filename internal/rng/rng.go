@@ -65,6 +65,21 @@ func (r *RNG) Split() *RNG {
 	return child
 }
 
+// SplitN derives k child generators from r's stream, in order: the result
+// is exactly what k successive Split calls would return. It is the one
+// blessed way the sharded engines hand each worker its own stream — the
+// children are derived before any goroutine starts and every worker owns
+// exactly one, so no stream is ever shared across goroutines and the
+// realization depends on (seed, k), never on scheduling (the bitlint
+// detrand analyzer rejects goroutines that capture a shared *RNG).
+func (r *RNG) SplitN(k int) []*RNG {
+	out := make([]*RNG, k)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

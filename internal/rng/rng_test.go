@@ -55,6 +55,25 @@ func TestSplitDeterministic(t *testing.T) {
 	}
 }
 
+// SplitN must be exactly k successive Splits — the sharded engines rely on
+// the equivalence to keep per-worker streams a pure function of (seed, k).
+func TestSplitNMatchesSuccessiveSplits(t *testing.T) {
+	const k = 5
+	children := New(7).SplitN(k)
+	if len(children) != k {
+		t.Fatalf("SplitN returned %d generators, want %d", len(children), k)
+	}
+	serial := New(7)
+	for i := 0; i < k; i++ {
+		want := serial.Split()
+		for j := 0; j < 20; j++ {
+			if got, w := children[i].Uint64(), want.Uint64(); got != w {
+				t.Fatalf("child %d draw %d: SplitN stream %#x differs from successive-Split stream %#x", i, j, got, w)
+			}
+		}
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 100000; i++ {

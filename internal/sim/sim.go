@@ -257,9 +257,12 @@ func RunContext(ctx context.Context, t Task, workers int, journal *Journal) (Out
 	}
 
 	if len(pending) > 0 {
-		if t.Mode == Parallel {
+		switch {
+		case t.Mode == Parallel:
 			runParallelBatched(cfg, st, pending, seeds, workers)
-		} else {
+		case t.Mode == AgentLevel:
+			runAgentsBatched(cfg, st, pending, seeds, workers)
+		default:
 			var wg sync.WaitGroup
 			next := make(chan int)
 			for w := 0; w < workers; w++ {
@@ -437,6 +440,87 @@ func runBatchRecovered(cfg engine.Config, seeds []uint64) (rs []engine.Result, e
 		}
 	}()
 	return engine.RunParallelReplicas(cfg, seeds)
+}
+
+// agentBatchBudget caps the opinion-bitset memory one worker's lockstep
+// agent-level batch keeps live at once (every replica of a batch holds two
+// bitsets for its whole run). 256 MiB bounds a thousand-replica sweep at
+// n = 10⁶ comfortably while keeping huge-n batches narrow enough to fit.
+const agentBatchBudget = 256 << 20
+
+// runAgentsBatched is runParallelBatched for AgentLevel mode: contiguous
+// chunks of the pending list advance in lockstep through
+// engine.RunAgentsReplicas, so the deterministic-regime adoption
+// thresholds are memoized once per distinct one-count across the whole
+// batch instead of once per replica-round. Outcomes are identical to the
+// unbatched path — the batched engine is bit-identical to per-replica
+// RunAgents on the same seeds — and a panicked batch falls back to
+// individually recovered per-replica runs. Chunks are additionally split
+// into sub-batches narrow enough that live bitsets stay under
+// agentBatchBudget per worker.
+func runAgentsBatched(cfg engine.Config, st *taskState, pending []int, seeds []uint64, workers int) {
+	perReplica := cfg.N / 4 // two bitsets, n/8 bytes each
+	if perReplica < 1 {
+		perReplica = 1
+	}
+	maxWidth := int(int64(agentBatchBudget) / perReplica)
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	runOne := func(cfg engine.Config, g *rng.RNG) (engine.Result, error) {
+		return engine.RunAgents(cfg, engine.AgentOptions{}, g)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(pending) / workers
+		hi := (w + 1) * len(pending) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []int) {
+			defer wg.Done()
+			for start := 0; start < len(chunk); start += maxWidth {
+				end := start + maxWidth
+				if end > len(chunk) {
+					end = len(chunk)
+				}
+				sub := chunk[start:end]
+				subSeeds := make([]uint64, len(sub))
+				for k, i := range sub {
+					subSeeds[k] = seeds[i]
+					if st.obsv != nil {
+						st.obsv.ReplicaStart(st.name, i)
+					}
+				}
+				batch, err := runAgentsBatchRecovered(cfg, subSeeds)
+				if err == nil {
+					for k, i := range sub {
+						st.classify(i, batch[k], nil)
+					}
+					continue
+				}
+				// Batch failed as a unit; isolate the fault per replica.
+				for _, i := range sub {
+					res, rerr := runRecovered(runOne, cfg, rng.New(seeds[i]))
+					st.classify(i, res, rerr)
+				}
+			}
+		}(pending[lo:hi])
+	}
+	wg.Wait()
+}
+
+// runAgentsBatchRecovered is RunAgentsReplicas with panics converted to
+// errors.
+func runAgentsBatchRecovered(cfg engine.Config, seeds []uint64) (rs []engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rs = nil
+			err = fmt.Errorf("batch panicked: %v", r)
+		}
+	}()
+	return engine.RunAgentsReplicas(cfg, engine.AgentOptions{}, seeds)
 }
 
 // runner maps a mode to its engine entry point.

@@ -94,6 +94,30 @@ func TestParallelBatchingPreservesResults(t *testing.T) {
 	}
 }
 
+// TestAgentBatchingPreservesResults: the lockstep path behind AgentLevel
+// mode must reproduce, replica for replica, exactly what per-replica
+// RunAgents on the task's derived seeds produces — the agent-level
+// counterpart of the Parallel-mode guarantee above.
+func TestAgentBatchingPreservesResults(t *testing.T) {
+	task := voterTask(25, 11)
+	task.Mode = AgentLevel
+	out, err := Run(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := rng.New(task.Seed)
+	for i := 0; i < task.Replicas; i++ {
+		seed := master.Uint64()
+		want, err := engine.RunAgents(task.Config, engine.AgentOptions{}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Results[i] != want {
+			t.Errorf("replica %d: batched %+v vs unbatched %+v", i, out.Results[i], want)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	task := voterTask(0, 1)
 	if _, err := Run(task, 1); err == nil {
