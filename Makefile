@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race race-packed obs-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents bench-packed-scale
+.PHONY: build test verify vet-race race-packed obs-race serve-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents bench-packed-scale
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ race-packed:
 obs-race:
 	$(GO) test -race ./internal/obs/ ./internal/trace/ ./internal/sim/
 
+# Simulation service under the race detector: the bitspreadd serving
+# layer (admission control, worker pool, stream hubs, drain/shutdown)
+# plus the subprocess SIGKILL/SIGTERM end-to-end proofs in
+# cmd/bitspreadd.
+serve-race:
+	$(GO) test -race ./internal/serve/ ./cmd/bitspreadd/
+
 # Repo-specific static contracts (DESIGN.md §11): bitlint machine-checks
 # the determinism, probability-domain, and validate-before-work invariants
 # that `go vet` cannot see. Zero unsuppressed diagnostics is the bar;
@@ -56,7 +63,7 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race race-packed obs-race lint fuzz-fault bench-smoke
+ci: verify vet-race race-packed obs-race serve-race lint fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).

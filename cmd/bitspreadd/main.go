@@ -1,0 +1,142 @@
+// Command bitspreadd is the crash-safe simulation daemon: a JSON HTTP
+// service that accepts bit-dissemination jobs, runs them on a bounded
+// worker pool behind per-tenant quotas and queue-depth admission
+// control, and survives kills.
+//
+// Every accepted job is fsynced to an intent log before the client sees
+// 202, every finished replica is checkpointed through the sim journal,
+// and completed results are published to a content-addressed cache — so
+// a SIGKILL'd daemon restarted on the same -data directory resumes its
+// unfinished jobs and lands on byte-identical results. SIGTERM/SIGINT
+// drain gracefully: in-flight jobs finish under -drain-timeout while new
+// submissions get 503, then the process exits 0.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job spec (202, or 200 if cached)
+//	GET    /v1/jobs             list known jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/result canonical result payload (done jobs)
+//	GET    /v1/jobs/{id}/events live NDJSON round/replica event stream
+//	GET    /healthz, /readyz    liveness / readiness
+//	GET    /metrics             Prometheus-style exposition
+//
+// Examples:
+//
+//	bitspreadd -addr 127.0.0.1:8642 -data /var/lib/bitspreadd
+//	curl -s localhost:8642/v1/jobs -d '{"n":4096,"z":1,"rule":"voter","replicas":100,"seed":7}'
+//	curl -s localhost:8642/v1/jobs/<id>/result | jq .success_rate
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bitspread/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bitspreadd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (the signal
+// handler) and the drain completes. The "listening on" line goes to w so
+// callers binding port 0 can discover the address.
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bitspreadd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8642", "listen address (host:port, port 0 picks a free one)")
+		data         = fs.String("data", "", "durable state directory: intent log, replica journal, result cache (empty: memory-only, no crash recovery)")
+		workers      = fs.Int("workers", 2, "job worker pool size")
+		simWorkers   = fs.Int("sim-workers", 1, "replica parallelism within one job")
+		queue        = fs.Int("queue", 64, "max jobs waiting for a worker; a full queue rejects with 503")
+		rate         = fs.Float64("rate", 0, "per-tenant admission rate in jobs/second (0: quotas disabled)")
+		burst        = fs.Int("burst", 8, "per-tenant token-bucket burst capacity")
+		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "wall-clock cap per job; specs may ask for less, never more")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM/SIGINT")
+		chaosSeed    = fs.Uint64("chaos-seed", 0, "seed for injected worker faults (fault drills)")
+		chaosPanic   = fs.Float64("chaos-panic", 0, "probability a job's worker panics at start (fault drills)")
+		chaosTimeout = fs.Float64("chaos-timeout", 0, "probability a job's deadline collapses to ~1ms (fault drills)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Operational diagnostics go to stderr via a mutex-protected logger;
+	// stdout carries only the machine-scrapable lifecycle lines.
+	diag := log.New(os.Stderr, "bitspreadd: ", 0)
+	var chaos *serve.Chaos
+	if *chaosPanic > 0 || *chaosTimeout > 0 {
+		chaos = serve.NewChaos(*chaosSeed, *chaosPanic, *chaosTimeout)
+		diag.Printf("chaos enabled: seed=%d panic=%g timeout=%g", *chaosSeed, *chaosPanic, *chaosTimeout)
+	}
+
+	s, err := serve.New(serve.Options{
+		DataDir:     *data,
+		Workers:     *workers,
+		SimWorkers:  *simWorkers,
+		QueueDepth:  *queue,
+		TenantRate:  *rate,
+		TenantBurst: *burst,
+		JobTimeout:  *jobTimeout,
+		Chaos:       chaos,
+		Logf:        diag.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	fmt.Fprintf(w, "bitspreadd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		s.Close()
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful degradation: readiness flips and new submissions get 503
+	// immediately, in-flight jobs get drainTimeout to finish, and whatever
+	// the deadline cuts off is left resumable in the journal — so the
+	// daemon still exits 0 with its state safe on disk.
+	fmt.Fprintln(w, "bitspreadd: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if derr := s.Drain(dctx); derr != nil {
+		diag.Printf("drain deadline exceeded; interrupted jobs will resume from the journal on restart")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if serr := httpSrv.Shutdown(sctx); serr != nil {
+		diag.Printf("http shutdown: %v", serr)
+	}
+	fmt.Fprintln(w, "bitspreadd: stopped")
+	return nil
+}

@@ -1,0 +1,336 @@
+package main
+
+// End-to-end robustness proofs against a real daemon process: the child
+// test binary re-execs itself as bitspreadd (TestMain), the parent
+// drives it over HTTP and kills it for real — SIGKILL mid-sweep for the
+// crash/resume byte-identity proof, SIGTERM for the graceful-drain
+// proof. The in-process variants of these properties live in
+// internal/serve; these tests are the ones a supervisor (systemd, k8s)
+// actually exercises.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"bitspread/internal/serve"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("BITSPREADD_CHILD") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		code := 0
+		if err := run(ctx, strings.Fields(os.Getenv("BITSPREADD_ARGS")), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bitspreadd:", err)
+			code = 1
+		}
+		stop()
+		os.Exit(code)
+	}
+	os.Exit(m.Run())
+}
+
+// e2eSpec is a job whose replicas each run their full round cap (the
+// anti-voter never stabilizes), giving the kill tests a wide window of
+// mid-job state while staying seconds-scale overall.
+func e2eSpec(replicas int) serve.JobSpec {
+	x0 := int64(1024)
+	return serve.JobSpec{
+		Name:      "e2e",
+		N:         2048,
+		Z:         1,
+		X0:        &x0,
+		Rule:      "antivoter",
+		Mode:      "agents",
+		Replicas:  replicas,
+		Seed:      11,
+		MaxRounds: 6000,
+	}
+}
+
+// daemon is one child bitspreadd process under test.
+type daemon struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	url    string
+	lines  chan string
+	waited bool
+}
+
+// startDaemon re-execs the test binary as a bitspreadd child with the
+// given flags and waits for its "listening on" line.
+func startDaemon(t *testing.T, args string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "BITSPREADD_CHILD=1", "BITSPREADD_ARGS="+args)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	addrCh := make(chan string, 1)
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if a, ok := strings.CutPrefix(line, "bitspreadd: listening on "); ok {
+				addrCh <- a
+				continue
+			}
+			select {
+			case lines <- line:
+			default:
+			}
+		}
+	}()
+	d := &daemon{t: t, cmd: cmd, lines: lines}
+	t.Cleanup(d.kill)
+	select {
+	case a := <-addrCh:
+		d.url = "http://" + a
+		return d
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+		return nil
+	}
+}
+
+// kill force-stops the child if a test exits with it still running.
+func (d *daemon) kill() {
+	if d.waited {
+		return
+	}
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	d.waited = true
+}
+
+// wait reaps the child and returns its exit error (nil for exit 0).
+func (d *daemon) wait() error {
+	err := d.cmd.Wait()
+	d.waited = true
+	return err
+}
+
+// submit posts a job spec and returns the HTTP code and decoded status.
+func submit(t *testing.T, url string, spec serve.JobSpec) (int, serve.JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var js serve.JobStatus
+	_ = json.NewDecoder(resp.Body).Decode(&js)
+	return resp.StatusCode, js
+}
+
+// getStatus fetches one job's status; a transport error returns code 0.
+func getStatus(url, id string) (int, serve.JobStatus) {
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		return 0, serve.JobStatus{}
+	}
+	defer resp.Body.Close()
+	var js serve.JobStatus
+	_ = json.NewDecoder(resp.Body).Decode(&js)
+	return resp.StatusCode, js
+}
+
+// waitDone polls until the job finishes, failing on a non-done end.
+func waitDone(t *testing.T, url, id string) {
+	t.Helper()
+	for i := 0; i < 12000; i++ {
+		if _, js := getStatus(url, id); js.State != "" {
+			switch js.State {
+			case "done":
+				return
+			case "failed", "cancelled":
+				t.Fatalf("job %s ended %q (error %q)", id, js.State, js.Error)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+}
+
+// getResult fetches the canonical result payload.
+func getResult(t *testing.T, url, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: code %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read result: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSIGKILLRestartResumesByteIdentical is the crash/resume acceptance
+// proof: SIGKILL a daemon mid-sweep, restart it on the same data
+// directory, and the merged journal-plus-recomputed result is
+// byte-identical to an uninterrupted run in a fresh universe.
+func TestSIGKILLRestartResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e test")
+	}
+	spec := e2eSpec(60)
+	dir := t.TempDir()
+	args := "-addr 127.0.0.1:0 -workers 1 -data " + dir
+
+	d1 := startDaemon(t, args)
+	code, js := submit(t, d1.url, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	id := js.ID
+
+	// Wait for real mid-job state — at least two replicas checkpointed —
+	// then kill without ceremony.
+	journal := filepath.Join(dir, "replicas.jsonl")
+	checkpointed := false
+	for i := 0; i < 30000; i++ {
+		if b, err := os.ReadFile(journal); err == nil && bytes.Count(b, []byte("\n")) >= 2 {
+			checkpointed = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !checkpointed {
+		t.Fatal("no replicas checkpointed before the kill window closed")
+	}
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = d1.wait() // non-zero exit expected: it was murdered
+
+	// Restart on the same directory: the intent log re-enqueues the job,
+	// the journal serves the finished replicas, and the job completes.
+	d2 := startDaemon(t, args)
+	waitDone(t, d2.url, id)
+	resumed := getResult(t, d2.url, id)
+	d2.kill()
+
+	// Control: the same spec, uninterrupted, in a fresh data directory.
+	d3 := startDaemon(t, "-addr 127.0.0.1:0 -workers 1 -data "+t.TempDir())
+	code, js3 := submit(t, d3.url, spec)
+	if code != http.StatusAccepted || js3.ID != id {
+		t.Fatalf("control submit: code %d id %s (want %s — same spec, same address)", code, js3.ID, id)
+	}
+	waitDone(t, d3.url, id)
+	control := getResult(t, d3.url, id)
+
+	if !bytes.Equal(resumed, control) {
+		t.Fatalf("SIGKILL+resume result differs from uninterrupted run:\nresumed: %.200s...\ncontrol: %.200s...", resumed, control)
+	}
+}
+
+// TestSIGTERMDrainsAndExitsZero is the graceful-degradation proof: on
+// SIGTERM the daemon finishes its in-flight job, rejects new work with
+// 503, exits 0, and leaves the completed result durable on disk.
+func TestSIGTERMDrainsAndExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e test")
+	}
+	spec := e2eSpec(60)
+	dir := t.TempDir()
+	args := "-addr 127.0.0.1:0 -workers 1 -drain-timeout 120s -data " + dir
+
+	d := startDaemon(t, args)
+	code, js := submit(t, d.url, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	id := js.ID
+	for i := 0; ; i++ {
+		if _, s := getStatus(d.url, id); s.State == "running" {
+			break
+		}
+		if i >= 12000 {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	// Readiness flips while the in-flight job keeps running...
+	for i := 0; ; i++ {
+		resp, err := http.Get(d.url + "/readyz")
+		if err == nil {
+			rcode := resp.StatusCode
+			resp.Body.Close()
+			if rcode == http.StatusServiceUnavailable {
+				break
+			}
+		}
+		if i >= 2000 {
+			t.Fatal("readyz never flipped to 503 after SIGTERM")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// ...and new submissions are shed with a retry hint.
+	other := e2eSpec(60)
+	other.Seed = 99
+	if code, _ := submit(t, d.url, other); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: code %d, want 503", code)
+	}
+
+	if err := d.wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v, want clean exit 0", err)
+	}
+	var sawDraining bool
+	for line := range d.lines {
+		if strings.Contains(line, "draining") {
+			sawDraining = true
+		}
+	}
+	if !sawDraining {
+		t.Error("daemon never announced the drain")
+	}
+
+	// The drained job finished and survived the process: a fresh daemon
+	// serves its result straight from the on-disk state.
+	d2 := startDaemon(t, args)
+	scode, status := getStatus(d2.url, id)
+	if scode != http.StatusOK || status.State != "done" {
+		t.Fatalf("after restart: code %d state %q, want done", scode, status.State)
+	}
+	if payload := getResult(t, d2.url, id); len(payload) == 0 {
+		t.Fatal("empty result after drain and restart")
+	}
+}
+
+// TestBadFlags keeps the flag surface honest without a subprocess.
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, os.Stderr); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// bitspreadd_client is a well-behaved client for the bitspreadd daemon:
+// it submits a job with seeded retry-with-jittered-backoff, honours the
+// server's Retry-After when it is shed by quota (429) or backpressure
+// (503), polls the job with the same backoff, and prints the result
+// summary.
+//
+// Start a daemon and run against it:
+//
+//	go run ./cmd/bitspreadd -addr 127.0.0.1:8642 -data /tmp/bitspreadd &
+//	go run ./examples/bitspreadd_client -addr 127.0.0.1:8642 -n 4096 -replicas 200
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"bitspread/internal/cli"
+	"bitspread/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8642", "bitspreadd address")
+		n        = flag.Int64("n", 4096, "population size")
+		rule     = flag.String("rule", "voter", "update rule")
+		replicas = flag.Int("replicas", 100, "independent seeded runs")
+		seed     = flag.Uint64("seed", 2024, "task seed (also seeds the client's backoff jitter)")
+		tenant   = flag.String("tenant", "", "tenant name for quota accounting")
+		attempts = flag.Int("attempts", 8, "max tries per request before giving up")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := "http://" + *addr
+	spec := serve.JobSpec{
+		Name:     "client",
+		N:        *n,
+		Z:        1,
+		Rule:     *rule,
+		Replicas: *replicas,
+		Seed:     *seed,
+		Tenant:   *tenant,
+	}
+
+	// Submit with backoff: 429/503 are the daemon shedding load and carry a
+	// Retry-After we must not undercut; 4xx specs are permanent.
+	var status serve.JobStatus
+	backoff := cli.NewBackoff(200*time.Millisecond, 10*time.Second, *seed)
+	err := cli.Retry(ctx, *attempts, backoff, nil, func() error {
+		return postJob(base, spec, &status)
+	})
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	fmt.Printf("job %s: %s\n", status.ID, status.State)
+
+	// Poll to completion with the same schedule, reset now that the server
+	// has accepted the work.
+	backoff.Reset()
+	err = cli.Retry(ctx, 10_000, backoff, nil, func() error {
+		if err := getJSON(base+"/v1/jobs/"+status.ID, &status); err != nil {
+			return err
+		}
+		switch status.State {
+		case "done":
+			return nil
+		case "failed", "cancelled":
+			return cli.Permanent(fmt.Errorf("job ended %s: %s", status.State, status.Error))
+		default:
+			return fmt.Errorf("job still %s", status.State)
+		}
+	})
+	if err != nil {
+		log.Fatalf("poll: %v", err)
+	}
+
+	var result serve.JobResult
+	if err := getJSON(base+"/v1/jobs/"+status.ID+"/result", &result); err != nil {
+		log.Fatalf("result: %v", err)
+	}
+	fmt.Printf("replicas=%d converged=%d success=%.3f [%.3f, %.3f]\n",
+		result.Replicas, result.Converged, result.SuccessRate, result.SuccessLo, result.SuccessHi)
+}
+
+// postJob submits the spec, classifying the response for the retry loop:
+// nil on acceptance, RetryAfter on shed load, Permanent on client error.
+func postJob(base string, spec serve.JobSpec, out *serve.JobStatus) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return cli.Permanent(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err // transport errors are worth a retry
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+		return json.NewDecoder(resp.Body).Decode(out)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		err := fmt.Errorf("server shed the job: %s", readError(resp.Body))
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			return cli.RetryAfter(err, time.Duration(secs)*time.Second)
+		}
+		return err
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return cli.Permanent(fmt.Errorf("rejected (%d): %s", resp.StatusCode, readError(resp.Body)))
+	default:
+		return fmt.Errorf("status %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+}
+
+// getJSON fetches a JSON endpoint into out.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// readError extracts the daemon's JSON error body, falling back to raw
+// text.
+func readError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &apiErr) == nil && apiErr.Error != "" {
+		return apiErr.Error
+	}
+	return string(bytes.TrimSpace(b))
+}

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bitspread/internal/rng"
+)
+
+// Backoff is a seeded jittered exponential backoff: attempt k draws a
+// wait uniformly from [d/2, d) where d = min(Max, Base·2ᵏ). The jitter
+// comes from the repo's deterministic RNG, so two clients with the same
+// seed produce the same wait sequence — retry storms are testable and
+// reproducible, while clients with distinct seeds still decorrelate.
+type Backoff struct {
+	// Base is the attempt-0 backoff ceiling.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+
+	g       *rng.RNG
+	attempt int
+}
+
+// NewBackoff builds a backoff with the given bounds and jitter seed.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max, g: rng.New(seed)}
+}
+
+// Next draws the wait for the next attempt and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.Base
+	for i := 0; i < b.attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	b.attempt++
+	// Uniform in [d/2, d): full-jitter's collision resistance without ever
+	// returning a uselessly short wait.
+	return d/2 + time.Duration(b.g.Float64()*float64(d/2))
+}
+
+// Reset rewinds the schedule to attempt 0 (the jitter stream continues).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately and returns it as-is
+// semantically: a 400 is not going to become a 202 by waiting.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// retryAfterError carries a server-provided wait hint (a Retry-After
+// header) alongside the failure.
+type retryAfterError struct {
+	err  error
+	wait time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfter wraps err with the server's advertised wait. Retry honours
+// the hint whenever it exceeds the backoff's own draw — a client never
+// hammers ahead of the time the server said it needed.
+func RetryAfter(err error, wait time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &retryAfterError{err: err, wait: wait}
+}
+
+// Retry runs fn up to attempts times, sleeping a jittered backoff
+// between failures. sleep is injectable for deterministic tests; nil
+// means time.Sleep. A Permanent-wrapped error stops the loop at once, a
+// RetryAfter-wrapped error raises that round's wait to the server's
+// hint, and ctx ending aborts between attempts and during waits.
+func Retry(ctx context.Context, attempts int, b *Backoff, sleep func(time.Duration), fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if b == nil {
+		b = NewBackoff(0, 0, 0)
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if i == attempts-1 {
+			break
+		}
+		wait := b.Next()
+		var hint *retryAfterError
+		if errors.As(err, &hint) && hint.wait > wait {
+			wait = hint.wait
+		}
+		if done := sleepCtx(ctx, wait, sleep); done != nil {
+			return done
+		}
+	}
+	return fmt.Errorf("cli: %d attempts failed: %w", attempts, err)
+}
+
+// sleepCtx waits via the injected sleeper but returns early with the
+// context's error if it ends first.
+func sleepCtx(ctx context.Context, d time.Duration, sleep func(time.Duration)) error {
+	if ctx.Done() == nil {
+		sleep(d)
+		return nil
+	}
+	woke := make(chan struct{})
+	go func() {
+		sleep(d)
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,154 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	a := NewBackoff(base, max, 7)
+	b := NewBackoff(base, max, 7)
+	ceiling := base
+	for i := 0; i < 12; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed drew %v and %v", i, da, db)
+		}
+		if da < ceiling/2 || da >= ceiling {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v)", i, da, ceiling/2, ceiling)
+		}
+		if ceiling < max {
+			ceiling *= 2
+			if ceiling > max {
+				ceiling = max
+			}
+		}
+	}
+	// A different seed decorrelates the jitter stream.
+	c := NewBackoff(base, max, 8)
+	same := true
+	a.Reset()
+	for i := 0; i < 12; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical jitter for 12 attempts")
+	}
+}
+
+func TestBackoffResetRewindsSchedule(t *testing.T) {
+	b := NewBackoff(time.Second, time.Minute, 1)
+	b.Next()
+	b.Next()
+	b.Reset()
+	if d := b.Next(); d >= time.Second {
+		t.Fatalf("post-reset wait %v, want < base (attempt 0 range)", d)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Retry(context.Background(), 5, NewBackoff(time.Second, time.Minute, 3),
+		func(d time.Duration) { slept = append(slept, d) },
+		func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls = %d, sleeps = %d; want 3 calls, 2 sleeps", calls, len(slept))
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	last := errors.New("still down")
+	var slept int
+	err := Retry(context.Background(), 3, NewBackoff(time.Second, time.Minute, 3),
+		func(time.Duration) { slept++ },
+		func() error { return last })
+	if !errors.Is(err, last) {
+		t.Fatalf("Retry = %v, want wrapped %v", err, last)
+	}
+	if slept != 2 {
+		t.Fatalf("slept %d times, want 2 (no sleep after the final attempt)", slept)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	bad := errors.New("400 bad spec")
+	calls := 0
+	err := Retry(context.Background(), 5, nil,
+		func(time.Duration) { t.Fatal("slept on a permanent error") },
+		func() error {
+			calls++
+			return Permanent(bad)
+		})
+	if err != bad {
+		t.Fatalf("Retry = %v, want the unwrapped permanent error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	var slept []time.Duration
+	hint := time.Hour // far above any backoff draw
+	err := Retry(context.Background(), 2, NewBackoff(time.Millisecond, time.Second, 1),
+		func(d time.Duration) { slept = append(slept, d) },
+		func() error { return RetryAfter(errors.New("429"), hint) })
+	if err == nil {
+		t.Fatal("Retry succeeded, want exhaustion")
+	}
+	if len(slept) != 1 || slept[0] != hint {
+		t.Fatalf("slept %v, want exactly the server hint %v", slept, hint)
+	}
+
+	// A hint below the backoff draw does not shorten the wait.
+	slept = nil
+	_ = Retry(context.Background(), 2, NewBackoff(time.Hour, time.Hour, 1),
+		func(d time.Duration) { slept = append(slept, d) },
+		func() error { return RetryAfter(errors.New("429"), time.Millisecond) })
+	if len(slept) != 1 || slept[0] < time.Hour/2 {
+		t.Fatalf("slept %v, want the backoff draw to win over a shorter hint", slept)
+	}
+}
+
+func TestRetryStopsWhenContextEnds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, 10, NewBackoff(time.Second, time.Second, 1),
+		func(time.Duration) { cancel() }, // context dies mid-wait
+		func() error {
+			calls++
+			return errors.New("transient")
+		})
+	if err != context.Canceled {
+		t.Fatalf("Retry = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempt after cancellation)", calls)
+	}
+}
+
+func TestRetryAfterAndPermanentUnwrap(t *testing.T) {
+	base := fmt.Errorf("boom")
+	if !errors.Is(Permanent(base), base) || !errors.Is(RetryAfter(base, time.Second), base) {
+		t.Fatal("wrappers must unwrap to the cause")
+	}
+	if Permanent(nil) != nil || RetryAfter(nil, time.Second) != nil {
+		t.Fatal("wrapping nil must stay nil")
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTenantBuckets bounds the quota table: a flood of requests with
+// unique tenant names must not grow server memory without limit. When
+// the table is full, the stalest bucket is evicted — its tenant simply
+// starts again from a full burst, which only ever errs in the client's
+// favor.
+const maxTenantBuckets = 4096
+
+// tokenBucket is one tenant's refillable quota.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission implements per-tenant token-bucket rate limiting. Buckets
+// refill continuously at rate tokens/second up to burst; a submission
+// costs one token. The clock is injectable so tests drive it
+// deterministically.
+type admission struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second; <= 0 disables quotas entirely
+	burst float64
+	now   func() time.Time
+	bkts  map[string]*tokenBucket
+}
+
+// newAdmission builds the limiter; now == nil uses the wall clock.
+func newAdmission(rate float64, burst int, now func() time.Time) *admission {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		//bitlint:wallclock quota refill is serving policy; simulation results never read it
+		now = time.Now
+	}
+	return &admission{rate: rate, burst: float64(burst), now: now, bkts: map[string]*tokenBucket{}}
+}
+
+// allow charges one token to the tenant. When the bucket is empty it
+// reports false together with the wait until the next token accrues —
+// the Retry-After the handler sends back.
+func (a *admission) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if a == nil || a.rate <= 0 {
+		return true, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.now()
+	b := a.bkts[tenant]
+	if b == nil {
+		a.evictStalestLocked()
+		b = &tokenBucket{tokens: a.burst, last: t}
+		a.bkts[tenant] = b
+	} else {
+		elapsed := t.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * a.rate
+			if b.tokens > a.burst {
+				b.tokens = a.burst
+			}
+			b.last = t
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / a.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictStalestLocked makes room for one more bucket when the table is at
+// its bound, dropping the least recently refilled tenant.
+func (a *admission) evictStalestLocked() {
+	if len(a.bkts) < maxTenantBuckets {
+		return
+	}
+	var victim string
+	var oldest time.Time
+	first := true
+	//bitlint:maporder eviction picks the minimum refill time; ties are arbitrary by design
+	for name, b := range a.bkts {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = name, b.last, false
+		}
+	}
+	delete(a.bkts, victim)
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// resultCache is the content-addressed result store: one file per job ID
+// under dir, written atomically (temp file + rename) so a crash can never
+// leave a half-written result that a restarted daemon would serve.
+// Because job IDs hash everything that determines the trajectory, a cache
+// hit is exactly as good as a fresh run — byte-identical by the engines'
+// determinism contract. A nil cache (no data directory) stores nothing.
+type resultCache struct {
+	dir string
+}
+
+// newResultCache creates the cache directory.
+func newResultCache(dir string) (*resultCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	return &resultCache{dir: dir}, nil
+}
+
+// path maps a job ID to its result file. IDs are lowercase hex by
+// construction, so the name needs no escaping.
+func (c *resultCache) path(id string) string {
+	return filepath.Join(c.dir, id+".json")
+}
+
+// get returns the cached payload for id, if present.
+func (c *resultCache) get(id string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(id))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// put stores the payload under id via temp-file-plus-rename, fsyncing the
+// data before the rename so the publish is atomic and durable.
+func (c *resultCache) put(id string, payload []byte) error {
+	if c == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, id+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: cache temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: cache sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(id)); err != nil {
+		return fmt.Errorf("serve: cache publish: %w", err)
+	}
+	return nil
+}

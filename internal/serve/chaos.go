@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"bitspread/internal/rng"
+)
+
+// Chaos injects seeded faults into the worker pool, the serving-layer
+// analogue of internal/fault's seeded schedules: where fault.Schedule
+// perturbs agents inside a simulation, Chaos perturbs the daemon around
+// it — a worker that panics mid-job, a job whose deadline collapses to
+// nearly nothing. The integration tests use it to prove (not assert)
+// that a panicking job is isolated and a timed-out job is reported
+// without taking the daemon down.
+//
+// Draws come from one seeded *rng.RNG under a lock, so with a single
+// pool worker the injected fault sequence is a deterministic function of
+// (seed, job start order).
+type Chaos struct {
+	// PanicProb is the probability a job's worker panics at job start.
+	PanicProb float64
+	// TimeoutProb is the probability a job's deadline is forced down to
+	// ForcedTimeout.
+	TimeoutProb float64
+	// ForcedTimeout is the collapsed deadline for injected timeouts
+	// (default 1ms).
+	ForcedTimeout time.Duration
+
+	mu sync.Mutex
+	g  *rng.RNG
+}
+
+// NewChaos builds a chaos injector with the given seed and fault
+// probabilities.
+func NewChaos(seed uint64, panicProb, timeoutProb float64) *Chaos {
+	return &Chaos{PanicProb: panicProb, TimeoutProb: timeoutProb, g: rng.New(seed)}
+}
+
+// plan draws this job's injected faults. A nil receiver injects nothing.
+func (c *Chaos) plan() (panicNow bool, forceTimeout bool, forced time.Duration) {
+	if c == nil {
+		return false, false, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	panicNow = c.PanicProb > 0 && c.g.Float64() < c.PanicProb
+	forceTimeout = c.TimeoutProb > 0 && c.g.Float64() < c.TimeoutProb
+	forced = c.ForcedTimeout
+	if forced <= 0 {
+		forced = time.Millisecond
+	}
+	return panicNow, forceTimeout, forced
+}

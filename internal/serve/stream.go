@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bitspread/internal/obs"
+)
+
+// Event is one NDJSON line of a job's event stream. Round events come
+// from the engine probe (shared across the job's replicas, so rounds of
+// concurrent replicas interleave); replica lifecycle events come from the
+// sim observer; "job_done" is the terminal line every stream ends with.
+type Event struct {
+	Type string `json:"type"` // round, fault, replica_start, replica_done, checkpoint, recovery, job_done
+	// Round is the 1-based round index for round/fault events, or the
+	// rounds count for replica_done/recovery events.
+	Round int64 `json:"round,omitempty"`
+	// Ones and Sampled carry the one-count and activation count of round
+	// events.
+	Ones    int64 `json:"ones,omitempty"`
+	Sampled int64 `json:"sampled,omitempty"`
+	// Replica identifies replica-scoped events.
+	Replica int `json:"replica,omitempty"`
+	// Converged and State describe replica_done events; State also carries
+	// the job's terminal state on job_done.
+	Converged bool   `json:"converged,omitempty"`
+	State     string `json:"state,omitempty"`
+	// Dropped reports, on the job_done line, how many events this
+	// subscriber lost to backpressure (slow consumers shed load rather
+	// than stall the simulation).
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// subscriber is one event-stream client. Its channel is bounded; a full
+// channel drops the event and counts it — the hub never blocks a
+// simulation on a slow reader.
+type subscriber struct {
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// hub fans a job's probe/observer events out to its stream subscribers.
+// It implements both the engine probe contract (RoundDone, FaultApplied,
+// ShardRound) and the sim observer contract (ReplicaStart, ReplicaDone,
+// Checkpoint, Recovery) so one value serves as Config.Probe and
+// Task.Observer. Publishing with no subscribers is a single atomic load —
+// jobs nobody watches pay essentially nothing.
+type hub struct {
+	nsubs   atomic.Int32
+	dropped *obs.Counter // server-wide drop counter; nil-safe
+
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	closed  bool
+	finalEv Event
+}
+
+// newHub builds a hub; dropped may be nil.
+func newHub(dropped *obs.Counter) *hub {
+	return &hub{subs: map[*subscriber]struct{}{}, dropped: dropped}
+}
+
+// subscribe registers a new stream client. On a hub that already closed,
+// the returned channel is immediately closed and final() carries the
+// terminal event, so late subscribers still get a well-formed stream.
+func (h *hub) subscribe(buffer int) *subscriber {
+	sub := &subscriber{ch: make(chan Event, buffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(sub.ch)
+		return sub
+	}
+	h.subs[sub] = struct{}{}
+	h.nsubs.Store(int32(len(h.subs)))
+	return sub
+}
+
+// unsubscribe removes a client; its channel is not closed (the reader
+// owns the exit).
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		h.nsubs.Store(int32(len(h.subs)))
+	}
+}
+
+// publish fans one event out, dropping per-subscriber when a buffer is
+// full.
+func (h *hub) publish(ev Event) {
+	if h == nil || h.nsubs.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	//bitlint:maporder fan-out order is irrelevant: every subscriber gets the same event
+	for sub := range h.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			h.dropped.Inc()
+		}
+	}
+}
+
+// close ends the stream: the terminal event is stored for finalEvent()
+// every subscriber channel is closed. Idempotent.
+func (h *hub) close(final Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.finalEv = final
+	//bitlint:maporder closing order is irrelevant: channels are independent
+	for sub := range h.subs {
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+	h.nsubs.Store(0)
+}
+
+// finalEvent returns the terminal event (zero until close).
+func (h *hub) finalEvent() Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.finalEv
+}
+
+// RoundDone implements the engine probe contract.
+func (h *hub) RoundDone(round, ones, sampled int64) {
+	h.publish(Event{Type: "round", Round: round, Ones: ones, Sampled: sampled})
+}
+
+// FaultApplied implements the engine probe contract.
+func (h *hub) FaultApplied(round int64) {
+	h.publish(Event{Type: "fault", Round: round})
+}
+
+// ShardRound implements the engine probe contract; shard load is a
+// metrics concern, not a stream one.
+func (h *hub) ShardRound(shard int, sampled int64) {}
+
+// ReplicaStart implements the sim observer contract.
+func (h *hub) ReplicaStart(task string, replica int) {
+	h.publish(Event{Type: "replica_start", Replica: replica})
+}
+
+// ReplicaDone implements the sim observer contract.
+func (h *hub) ReplicaDone(task string, replica int, rounds int64, converged bool, state string) {
+	h.publish(Event{Type: "replica_done", Replica: replica, Round: rounds, Converged: converged, State: state})
+}
+
+// Checkpoint implements the sim observer contract.
+func (h *hub) Checkpoint(task string, replica int) {
+	h.publish(Event{Type: "checkpoint", Replica: replica})
+}
+
+// Recovery implements the sim observer contract.
+func (h *hub) Recovery(task string, replica int, rounds int64) {
+	h.publish(Event{Type: "recovery", Replica: replica, Round: rounds})
+}

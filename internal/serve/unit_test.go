@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHubDropsOnSlowSubscriberAndCounts(t *testing.T) {
+	h := newHub(nil)
+	slow := h.subscribe(1)
+	fast := h.subscribe(8)
+	for i := int64(1); i <= 4; i++ {
+		h.publish(Event{Type: "round", Round: i})
+	}
+	if got := slow.dropped.Load(); got != 3 {
+		t.Fatalf("slow subscriber dropped %d, want 3", got)
+	}
+	if got := fast.dropped.Load(); got != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", got)
+	}
+	if got := len(fast.ch); got != 4 {
+		t.Fatalf("fast subscriber buffered %d, want 4", got)
+	}
+	h.close(Event{Type: "job_done", State: "done"})
+	if _, open := <-slow.ch; !open {
+		t.Fatal("slow subscriber lost its one buffered event")
+	}
+	if _, open := <-slow.ch; open {
+		t.Fatal("channel not closed after hub close")
+	}
+	if fe := h.finalEvent(); fe.State != "done" {
+		t.Fatalf("finalEvent = %+v", fe)
+	}
+}
+
+func TestHubLateSubscriberGetsClosedChannel(t *testing.T) {
+	h := newHub(nil)
+	h.close(Event{Type: "job_done", State: "failed"})
+	sub := h.subscribe(4)
+	if _, open := <-sub.ch; open {
+		t.Fatal("late subscription channel should be closed immediately")
+	}
+	if fe := h.finalEvent(); fe.State != "failed" {
+		t.Fatalf("finalEvent = %+v", fe)
+	}
+	// Publishing after close must be a no-op, not a panic.
+	h.publish(Event{Type: "round"})
+}
+
+func TestJobLogTornFinalLineDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	spec := testSpec(1)
+	lg, entries, err := openJobLog(path, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh log has %d entries", len(entries))
+	}
+	if err := lg.append(jobLogEntry{Ev: "submit", ID: "aa", Spec: &spec}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := lg.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Simulate a crash mid-append: a torn, unparsable final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := f.WriteString(`{"ev":"end","id":"aa","sta`); err != nil {
+		t.Fatalf("write torn line: %v", err)
+	}
+	f.Close()
+
+	var logged []string
+	lg2, entries, err := openJobLog(path, func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatalf("reopen log: %v", err)
+	}
+	defer lg2.close()
+	if len(entries) != 1 || entries[0].Ev != "submit" || entries[0].ID != "aa" {
+		t.Fatalf("entries = %+v, want the one intact submit", entries)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "truncated final line") {
+		t.Fatalf("diagnostics = %q, want one truncation report", logged)
+	}
+}
+
+func TestJobLogMidFileCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	content := `{"ev":"submit","id":"aa"}` + "\n" + `garbage` + "\n" + `{"ev":"end","id":"aa","state":"done"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := openJobLog(path, nil); err == nil {
+		t.Fatal("mid-file corruption must not be silently dropped")
+	}
+}
+
+func TestAdmissionRefillAndBurst(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	a := newAdmission(2, 3, func() time.Time { return clock })
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := a.allow("t"); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, ra := a.allow("t")
+	if ok {
+		t.Fatal("empty bucket allowed a submission")
+	}
+	// Next token accrues in 1/rate = 500ms.
+	if ra != 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 500ms", ra)
+	}
+
+	clock = clock.Add(time.Second) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.allow("t"); !ok {
+			t.Fatalf("refilled token %d denied", i)
+		}
+	}
+	if ok, _ := a.allow("t"); ok {
+		t.Fatal("over-refill: bucket should be empty again")
+	}
+
+	// Refill never exceeds burst.
+	clock = clock.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := a.allow("t"); !ok {
+			t.Fatalf("post-idle token %d denied", i)
+		}
+	}
+	if ok, _ := a.allow("t"); ok {
+		t.Fatal("bucket exceeded burst after long idle")
+	}
+}
+
+func TestAdmissionDisabledAndTenantBound(t *testing.T) {
+	if ok, _ := newAdmission(0, 1, nil).allow("anyone"); !ok {
+		t.Fatal("rate 0 must disable quotas")
+	}
+
+	clock := time.Unix(0, 0)
+	a := newAdmission(1, 1, func() time.Time { return clock })
+	// A flood of unique tenants must not grow the table without bound.
+	for i := 0; i < maxTenantBuckets+100; i++ {
+		clock = clock.Add(time.Millisecond)
+		a.allow(fmt.Sprintf("tenant-%d", i))
+	}
+	a.mu.Lock()
+	n := len(a.bkts)
+	a.mu.Unlock()
+	if n > maxTenantBuckets {
+		t.Fatalf("bucket table grew to %d, bound is %d", n, maxTenantBuckets)
+	}
+}
+
+func TestResultCacheAtomicPutGet(t *testing.T) {
+	c, err := newResultCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatalf("newResultCache: %v", err)
+	}
+	if _, ok := c.get("aa"); ok {
+		t.Fatal("get on empty cache")
+	}
+	payload := []byte(`{"id":"aa"}` + "\n")
+	if err := c.put("aa", payload); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, ok := c.get("aa")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	// Overwrite is atomic too: same ID, new payload.
+	if err := c.put("aa", []byte("v2\n")); err != nil {
+		t.Fatalf("re-put: %v", err)
+	}
+	if got, _ := c.get("aa"); !bytes.Equal(got, []byte("v2\n")) {
+		t.Fatalf("after re-put: %q", got)
+	}
+	// No temp-file litter after successful publishes.
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range names {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+
+	// A nil cache (memory-only server) is inert.
+	var nilCache *resultCache
+	if err := nilCache.put("x", payload); err != nil {
+		t.Fatalf("nil put: %v", err)
+	}
+	if _, ok := nilCache.get("x"); ok {
+		t.Fatal("nil cache returned a payload")
+	}
+}
+
+func TestJobIDContentAddressing(t *testing.T) {
+	spec := testSpec(1)
+	spec.normalize()
+	task, err := spec.buildTask()
+	if err != nil {
+		t.Fatalf("buildTask: %v", err)
+	}
+	a := jobID(task, spec.Replicas)
+	b := jobID(task, spec.Replicas)
+	if a != b {
+		t.Fatalf("same job hashed to %s and %s", a, b)
+	}
+	if c := jobID(task, spec.Replicas+1); c == a {
+		t.Fatal("replica count must be part of the address")
+	}
+	other := testSpec(2)
+	other.normalize()
+	otherTask, err := other.buildTask()
+	if err != nil {
+		t.Fatalf("buildTask: %v", err)
+	}
+	if c := jobID(otherTask, other.Replicas); c == a {
+		t.Fatal("different seeds must address different jobs")
+	}
+}
+
+func TestSpecNormalizeWorstCaseX0(t *testing.T) {
+	s1 := JobSpec{N: 100, Z: 1, Rule: "voter", Seed: 1}
+	s1.normalize()
+	if *s1.X0 != 1 {
+		t.Fatalf("z=1 worst case x0 = %d, want 1 (only the source holds 1)", *s1.X0)
+	}
+	s0 := JobSpec{N: 100, Z: 0, Rule: "voter", Seed: 1}
+	s0.normalize()
+	if *s0.X0 != 99 {
+		t.Fatalf("z=0 worst case x0 = %d, want 99 (everyone but the source holds 1)", *s0.X0)
+	}
+	explicit := int64(40)
+	s2 := JobSpec{N: 100, Z: 1, Rule: "voter", Seed: 1, X0: &explicit}
+	s2.normalize()
+	if *s2.X0 != 40 {
+		t.Fatalf("explicit x0 overwritten to %d", *s2.X0)
+	}
+}
+
+func TestTimeoutOrDefault(t *testing.T) {
+	cap := 10 * time.Minute
+	cases := []struct {
+		in   string
+		want time.Duration
+		err  bool
+	}{
+		{"", cap, false},
+		{"30s", 30 * time.Second, false},
+		{"2h", cap, false}, // above the cap: clamped
+		{"-5s", cap, false},
+		{"soon", 0, true},
+	}
+	for _, c := range cases {
+		sp := JobSpec{Timeout: c.in}
+		got, err := sp.timeoutOrDefault(cap)
+		if c.err != (err != nil) {
+			t.Errorf("timeout %q: err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("timeout %q = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -47,10 +47,28 @@ type journalEntry struct {
 // with resume=true replays the finished work instead of recomputing it.
 // A Journal is safe for concurrent use by the sim worker pool.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	done map[string]map[int]engine.Result
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	fsync bool
+	done  map[string]map[int]engine.Result
+}
+
+// JournalOptions configures OpenJournalOpts beyond the historical
+// (path, resume) pair.
+type JournalOptions struct {
+	// Resume loads the existing entries at path and serves them from
+	// Lookup; without it the file is truncated and the run starts clean.
+	Resume bool
+	// Fsync forces an fsync(2) after every Record flush, so a checkpoint
+	// survives not just a process kill but a machine crash. Long-running
+	// daemons (bitspreadd) turn this on; one-shot sweeps usually accept
+	// the smaller page-cache window in exchange for cheaper Records.
+	Fsync bool
+	// Logf, if non-nil, receives recovery diagnostics during load — most
+	// importantly the torn-final-line report when a crash cut a Record
+	// in half. Replayed state never depends on it.
+	Logf func(format string, args ...any)
 }
 
 // OpenJournal opens (or creates) the checkpoint file at path. With resume
@@ -59,14 +77,21 @@ type Journal struct {
 // while corruption earlier in the file is an error. Without resume the
 // file is truncated and the run starts clean.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	j := &Journal{done: map[string]map[int]engine.Result{}}
-	if resume {
-		if err := j.load(path); err != nil {
+	return OpenJournalOpts(path, JournalOptions{Resume: resume})
+}
+
+// OpenJournalOpts is OpenJournal with the daemon-grade knobs of
+// JournalOptions: fsync-per-Record durability and a diagnostics hook for
+// crash-truncation recovery.
+func OpenJournalOpts(path string, opts JournalOptions) (*Journal, error) {
+	j := &Journal{done: map[string]map[int]engine.Result{}, fsync: opts.Fsync}
+	if opts.Resume {
+		if err := j.load(path, opts.Logf); err != nil {
 			return nil, err
 		}
 	}
 	flags := os.O_CREATE | os.O_WRONLY
-	if resume {
+	if opts.Resume {
 		flags |= os.O_APPEND
 	} else {
 		flags |= os.O_TRUNC
@@ -82,7 +107,7 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 
 // load replays an existing journal file into the in-memory index. A
 // missing file is an empty journal.
-func (j *Journal) load(path string) error {
+func (j *Journal) load(path string, logf func(string, ...any)) error {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -100,6 +125,9 @@ func (j *Journal) load(path string) error {
 			if i == len(lines)-1 {
 				// Torn final write from an interrupted run; the replica it
 				// described will simply be recomputed.
+				if logf != nil {
+					logf("sim: journal %s: dropping truncated final line %d (%d bytes): %v", path, i+1, len(line), err)
+				}
 				return nil
 			}
 			return fmt.Errorf("sim: journal line %d corrupt: %w", i+1, err)
@@ -181,7 +209,15 @@ func (j *Journal) Record(task string, replica int, r engine.Result) error {
 	if _, err := j.w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("sim: journal write: %w", err)
 	}
-	return j.w.Flush()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("sim: journal fsync: %w", err)
+		}
+	}
+	return nil
 }
 
 // Close flushes and closes the underlying file. The in-memory index stays
