@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race race-packed obs-race serve-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents bench-packed-scale
+.PHONY: build test verify vet-race race-packed obs-race serve-race fabric-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents bench-packed-scale bench-fabric-scale
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,18 @@ obs-race:
 serve-race:
 	$(GO) test -race ./internal/serve/ ./cmd/bitspreadd/
 
+# Distributed sweep fabric under the race detector: the lease board and
+# shard runner, the journal partition/merge layer (exclusive locks,
+# torn-tail recovery, byte-identical merges), the bitsweep
+# -partition/-join CLI path, and the coordinator/pull-worker protocol in
+# internal/serve and cmd/bitspreadd — including the real-subprocess
+# SIGKILL + re-lease byte-identity proof.
+fabric-race:
+	$(GO) test -race ./internal/fabric/ ./internal/serve/
+	$(GO) test -race -run 'TestJournal|TestMerge|TestRunContextPartition' ./internal/sim/
+	$(GO) test -race -run 'TestRunFabric|TestRunJoin|TestRunPartition' ./cmd/bitsweep/
+	$(GO) test -race -run 'TestFabricWorker|TestBadFlags' ./cmd/bitspreadd/
+
 # Repo-specific static contracts (DESIGN.md §11): bitlint machine-checks
 # the determinism, probability-domain, and validate-before-work invariants
 # that `go vet` cannot see. Zero unsuppressed diagnostics is the bar;
@@ -63,7 +75,7 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race race-packed obs-race serve-race lint fuzz-fault bench-smoke
+ci: verify vet-race race-packed obs-race serve-race fabric-race lint fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).
@@ -91,3 +103,11 @@ bench-agents:
 # huge-n record.
 bench-packed-scale:
 	$(GO) run ./cmd/bitbench -suite packed-scale -out BENCH_engines.json $(SCALE_ARGS)
+
+# Distributed-sweep scaling matrix: worker counts over an in-process
+# lease board, each cell timing the full lease-compute-merge cycle
+# (tasks/sec, steal counts) and asserting merge byte-identity against
+# the single-worker cell. Override axes with FABRIC_ARGS, e.g.
+# FABRIC_ARGS='-fabric-workers 1,2,4,8 -fabric-partitions 8'.
+bench-fabric-scale:
+	$(GO) run ./cmd/bitbench -suite fabric-scale -out BENCH_engines.json $(FABRIC_ARGS)

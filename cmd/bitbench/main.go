@@ -23,9 +23,12 @@
 //	bitbench -suite agents -cpuprofile cpu.pb.gz   # profile the agent engines
 //	bitbench -suite packed-scale -scale-procs 1,2,4 -scale-shards 1,4
 //	                                       # GOMAXPROCS × shards × n matrix
+//	bitbench -suite fabric-scale -fabric-workers 1,2,4
+//	                                       # distributed-sweep worker scaling
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -34,16 +37,20 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"bitspread/internal/engine"
+	"bitspread/internal/fabric"
 	"bitspread/internal/obs"
 	"bitspread/internal/protocol"
 	"bitspread/internal/rng"
+	"bitspread/internal/sim"
 )
 
 func main() {
@@ -67,6 +74,13 @@ type measurement struct {
 	// agent-rounds (n × rounds executed) per wall-clock second. Zero for
 	// benchmarks outside that suite.
 	AgentRoundsPerSec float64 `json:"agent_rounds_per_sec,omitempty"`
+	// TasksPerSec is the throughput unit of the fabric-scale suite:
+	// merged (task, replica) checkpoints per wall-clock second of the
+	// whole lease-compute-merge cycle. Zero outside that suite.
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+	// Steals counts speculative lease duplications the fabric-scale
+	// cell's idle workers performed (fabric.BoardStats.Steals).
+	Steals int64 `json:"steals,omitempty"`
 }
 
 // record is one line of the trajectory file.
@@ -103,7 +117,10 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		replicas    = fs.Int("replicas", 1024, "batch width for the count-level benchmarks")
 		budget      = fs.Duration("budget", 200*time.Millisecond, "minimum timing window per benchmark")
 		maxProcs    = fs.Int("gomaxprocs", runtime.NumCPU(), "GOMAXPROCS for the benchmark run (recorded in the output)")
-		suite       = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), packed-scale (GOMAXPROCS × shards × n matrix), all")
+		suite       = fs.String("suite", "all", "benchmark suite: engines (shard/cache), agents (literal vs packed vs aggregated), packed-scale (GOMAXPROCS × shards × n matrix), fabric-scale (distributed-sweep workers × partitions matrix), all")
+		fabWorkers  = fs.String("fabric-workers", "1,2,4", "fabric-scale worker counts, CSV")
+		fabParts    = fs.Int("fabric-partitions", 4, "fabric-scale partitions per cell (more partitions than workers exercises the lease queue)")
+		fabExps     = fs.String("fabric-exp", "T2", "fabric-scale experiment IDs, comma-separated")
 		scaleProcs  = fs.String("scale-procs", "", "packed-scale GOMAXPROCS values, CSV (default: 1,2,4,… up to NumCPU)")
 		scaleNs     = fs.String("scale-ns", "1048576,16777216", "packed-scale population sizes, CSV (n ≥ 2³² runs the chunked path only)")
 		scaleShards = fs.String("scale-shards", "", "packed-scale shard counts, CSV (default: 1 and NumCPU)")
@@ -116,9 +133,9 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		return fmt.Errorf("population %d too small", *n)
 	}
 	switch *suite {
-	case "engines", "agents", "packed-scale", "all":
+	case "engines", "agents", "packed-scale", "fabric-scale", "all":
 	default:
-		return fmt.Errorf("unknown suite %q (want engines, agents, packed-scale or all)", *suite)
+		return fmt.Errorf("unknown suite %q (want engines, agents, packed-scale, fabric-scale or all)", *suite)
 	}
 	if *maxProcs > 0 {
 		runtime.GOMAXPROCS(*maxProcs)
@@ -175,7 +192,13 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		// whatever runs after the matrix.
 		defer runtime.GOMAXPROCS(*maxProcs)
 	}
-	if *suite != "engines" && *suite != "packed-scale" {
+	if *suite == "fabric-scale" {
+		specs, err = fabricScaleSpecs(ctx, *fabWorkers, *fabParts, *fabExps)
+		if err != nil {
+			return err
+		}
+	}
+	if *suite != "engines" && *suite != "packed-scale" && *suite != "fabric-scale" {
 		specs = append(specs,
 			benchSpec{"agents/literal", func() measurement {
 				return benchAgents(ctx, *n, engine.AgentOptions{Unpacked: true}, benchProbe, *budget)
@@ -188,7 +211,7 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 			}},
 		)
 	}
-	if *suite != "agents" && *suite != "packed-scale" {
+	if *suite != "agents" && *suite != "packed-scale" && *suite != "fabric-scale" {
 		specs = append(specs,
 			benchSpec{"agents/serial", func() measurement {
 				return benchAgents(ctx, *n, engine.AgentOptions{}, benchProbe, *budget)
@@ -376,6 +399,144 @@ func benchScaleCell(ctx context.Context, n int64, opts engine.AgentOptions, budg
 		m.AgentRoundsPerSec = float64(n) * float64(rounds) / m.NsPerOp * 1e9
 	}
 	return m
+}
+
+// fabricScaleSpecs builds the workers × partitions matrix of the
+// fabric-scale suite: each cell stands up an in-process lease board
+// (the same fabric.Board the HTTP coordinator serves), lets W worker
+// goroutines pull, compute and complete partitions of the sweep, and
+// times the whole lease-compute-merge cycle. The first cell's merged
+// bytes become the reference every later cell must match — the suite
+// measures throughput only over runs it can prove correct.
+func fabricScaleSpecs(ctx context.Context, workersCSV string, partitions int, expsCSV string) ([]benchSpec, error) {
+	workerAxis, err := parseCSVInt64s(workersCSV)
+	if err != nil {
+		return nil, fmt.Errorf("-fabric-workers: %w", err)
+	}
+	if partitions < 1 {
+		return nil, fmt.Errorf("-fabric-partitions: %d partitions", partitions)
+	}
+	spec := fabric.SweepSpec{Exps: strings.Split(expsCSV, ","), Seed: 2024, Quick: true, SimWorkers: 1}
+	if _, err := spec.Experiments(); err != nil {
+		return nil, fmt.Errorf("-fabric-exp: %w", err)
+	}
+	var refMerged []byte // cells run sequentially; the first one sets it
+	var specs []benchSpec
+	for _, w := range workerAxis {
+		w := int(w)
+		key := fmt.Sprintf("fabric-scale/workers=%d/parts=%d", w, partitions)
+		specs = append(specs, benchSpec{key, func() measurement {
+			m, merged := benchFabricCell(ctx, spec, w, partitions)
+			if ctx.Err() != nil {
+				return m
+			}
+			if refMerged == nil {
+				refMerged = merged
+			} else if !bytes.Equal(merged, refMerged) {
+				panic(fmt.Sprintf("fabric-scale %s: merged journal differs from the first cell's — the fabric lost byte identity", key))
+			}
+			return m
+		}})
+	}
+	return specs, nil
+}
+
+// benchFabricCell runs one distributed sweep with w worker goroutines
+// over an in-process lease board and returns the timing plus the merged
+// journal bytes. Long-TTL leases keep expiry re-issue out of the
+// measurement; steals still happen whenever workers outnumber the
+// remaining partitions, and are reported.
+func benchFabricCell(ctx context.Context, spec fabric.SweepSpec, w, partitions int) (measurement, []byte) {
+	board, err := fabric.NewBoard(partitions, time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "bitbench-fabric-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	var (
+		mu      sync.Mutex // board and shard-path bookkeeping
+		paths   []string
+		wg      sync.WaitGroup
+		workErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if workErr == nil {
+			workErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now() //bitlint:wallclock benchmark timing measures the host, not the simulation
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", i)
+			for ctx.Err() == nil {
+				mu.Lock()
+				//bitlint:wallclock lease bookkeeping is bench harness state; simulation results never read it
+				status, lease := board.Acquire(name, time.Now())
+				mu.Unlock()
+				switch status {
+				case fabric.Granted:
+					path := filepath.Join(dir, fmt.Sprintf("%s-shard-%d.jsonl", name, lease.Shard.Index))
+					if _, err := fabric.RunShard(ctx, spec, lease.Shard, path, false, nil); err != nil {
+						if ctx.Err() == nil {
+							fail(fmt.Errorf("worker %s shard %s: %w", name, lease.Shard, err))
+						}
+						return
+					}
+					mu.Lock()
+					paths = append(paths, path)
+					_, _, cerr := board.Complete(lease.ID)
+					mu.Unlock()
+					if cerr != nil {
+						fail(fmt.Errorf("worker %s complete %s: %w", name, lease.ID, cerr))
+						return
+					}
+				case fabric.Wait:
+					time.Sleep(time.Millisecond)
+				default: // Drained
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if workErr != nil {
+		panic(workErr)
+	}
+	if ctx.Err() != nil {
+		return measurement{}, nil
+	}
+
+	srcs := make([]sim.MergeSource, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			panic(err)
+		}
+		srcs[i] = sim.MergeSource{Name: filepath.Base(p), Data: data}
+	}
+	var merged bytes.Buffer
+	stats, err := sim.MergeJournals(&merged, srcs)
+	if err != nil {
+		panic(fmt.Errorf("fabric-scale merge: %w", err))
+	}
+	wall := time.Since(start) //bitlint:wallclock benchmark timing measures the host, not the simulation
+	m := measurement{
+		NsPerOp: float64(wall.Nanoseconds()) / float64(stats.Entries),
+		Ops:     int64(stats.Entries),
+		Steals:  int64(board.Stats().Steals),
+	}
+	if wall > 0 {
+		m.TasksPerSec = float64(stats.Entries) / wall.Seconds()
+	}
+	return m, merged.Bytes()
 }
 
 // flushRecord appends the record to the trajectory file (or stdout) and

@@ -136,6 +136,49 @@ func TestRunPackedScaleSkipsUnsatisfiableShards(t *testing.T) {
 	}
 }
 
+func TestRunFabricScaleSuite(t *testing.T) {
+	var msg strings.Builder
+	err := run(context.Background(), []string{"-out", "-", "-suite", "fabric-scale",
+		"-fabric-workers", "1,2", "-fabric-partitions", "3", "-fabric-exp", "T2"}, &msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(msg.String()), &rec); err != nil {
+		t.Fatalf("stdout record not valid JSON: %v\n%s", err, msg.String())
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("fabric-scale produced %d cells, want 2: %+v", len(rec.Benchmarks), rec.Benchmarks)
+	}
+	var ops []int64
+	for _, key := range []string{
+		"fabric-scale/workers=1/parts=3",
+		"fabric-scale/workers=2/parts=3",
+	} {
+		m, ok := rec.Benchmarks[key]
+		if !ok || m.Ops <= 0 || m.NsPerOp <= 0 || m.TasksPerSec <= 0 {
+			t.Fatalf("cell %q missing measurements: %+v", key, m)
+		}
+		ops = append(ops, m.Ops)
+	}
+	// Every cell merges the identical sweep, so the checkpoint counts
+	// must agree (byte identity itself is asserted inside the suite).
+	if ops[0] != ops[1] {
+		t.Errorf("cells merged %v entries, want identical counts", ops)
+	}
+
+	// Bad axes are errors, not empty records.
+	for name, args := range map[string][]string{
+		"bad workers":    {"-out", "-", "-suite", "fabric-scale", "-fabric-workers", "0"},
+		"bad partitions": {"-out", "-", "-suite", "fabric-scale", "-fabric-partitions", "0"},
+		"bad experiment": {"-out", "-", "-suite", "fabric-scale", "-fabric-exp", "nope"},
+	} {
+		if err := run(context.Background(), args, &msg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
 func TestRunRejectsTinyPopulation(t *testing.T) {
 	var msg strings.Builder
 	if err := run(context.Background(), []string{"-n", "2"}, &msg); err == nil {

@@ -27,6 +27,19 @@
 //	bitspreadd -addr 127.0.0.1:8642 -data /var/lib/bitspreadd
 //	curl -s localhost:8642/v1/jobs -d '{"n":4096,"z":1,"rule":"voter","replicas":100,"seed":7}'
 //	curl -s localhost:8642/v1/jobs/<id>/result | jq .success_rate
+//
+// With -fabric-exp the daemon additionally coordinates a distributed
+// sweep (internal/fabric): it leases deterministic partitions of the
+// (task, replica) space to pull workers over /v1/lease, re-issues
+// leases whose holders die, and serves the merged journal — which is
+// byte-identical to a single-process run — at /v1/fabric/journal.
+// With -pull the process is a fleet worker instead of a daemon: it
+// leases partitions from a coordinator, computes them locally with
+// crash-safe shard checkpoints, and uploads the results until the
+// sweep drains.
+//
+//	bitspreadd -addr :8642 -fabric-exp T2,F1 -fabric-partitions 4   # coordinator
+//	bitspreadd -pull http://host:8642 -worker w1 -shard-dir /tmp/w1  # worker
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,12 +86,33 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		chaosSeed    = fs.Uint64("chaos-seed", 0, "seed for injected worker faults (fault drills)")
 		chaosPanic   = fs.Float64("chaos-panic", 0, "probability a job's worker panics at start (fault drills)")
 		chaosTimeout = fs.Float64("chaos-timeout", 0, "probability a job's deadline collapses to ~1ms (fault drills)")
+
+		fabricExp        = fs.String("fabric-exp", "", "coordinate a distributed sweep of these comma-separated experiment IDs ('all': every experiment); enables the /v1/lease and /v1/fabric endpoints")
+		fabricPartitions = fs.Int("fabric-partitions", 2, "number of (task, replica) partitions the fabric sweep is split into")
+		fabricSeed       = fs.Uint64("fabric-seed", 2024, "random seed for the fabric sweep")
+		fabricQuick      = fs.Bool("fabric-quick", false, "run the fabric sweep with reduced experiment sizes")
+		fabricSimWorkers = fs.Int("fabric-sim-workers", 1, "replica parallelism each fabric worker uses inside its shard (0: worker's GOMAXPROCS)")
+		leaseTTL         = fs.Duration("lease-ttl", time.Minute, "fabric lease time-to-live; a lease not renewed within this window is re-issued to another worker")
+
+		pull       = fs.String("pull", "", "run as a fabric pull worker against this coordinator URL instead of serving")
+		workerName = fs.String("worker", "", "worker name for -pull mode (lease accounting is per-worker)")
+		shardDir   = fs.String("shard-dir", "", "crash-safe shard checkpoint directory for -pull mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+
+	if *pull != "" {
+		if *fabricExp != "" {
+			return fmt.Errorf("-pull and -fabric-exp are mutually exclusive: a process is either a worker or a coordinator")
+		}
+		return runPullWorker(ctx, w, *pull, *workerName, *shardDir)
+	}
+	if *workerName != "" || *shardDir != "" {
+		return fmt.Errorf("-worker and -shard-dir only apply in -pull mode")
 	}
 
 	// Operational diagnostics go to stderr via a mutex-protected logger;
@@ -89,6 +124,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		diag.Printf("chaos enabled: seed=%d panic=%g timeout=%g", *chaosSeed, *chaosPanic, *chaosTimeout)
 	}
 
+	var fabricOpts *serve.FabricOptions
+	if *fabricExp != "" {
+		var exps []string
+		if *fabricExp != "all" {
+			exps = strings.Split(*fabricExp, ",")
+		}
+		fabricOpts = &serve.FabricOptions{
+			Exps:       exps,
+			Seed:       *fabricSeed,
+			Quick:      *fabricQuick,
+			Partitions: *fabricPartitions,
+			LeaseTTL:   *leaseTTL,
+			SimWorkers: *fabricSimWorkers,
+		}
+		diag.Printf("fabric coordinator enabled: exps=%s partitions=%d ttl=%s", *fabricExp, *fabricPartitions, *leaseTTL)
+	}
+
 	s, err := serve.New(serve.Options{
 		DataDir:     *data,
 		Workers:     *workers,
@@ -98,6 +150,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		TenantBurst: *burst,
 		JobTimeout:  *jobTimeout,
 		Chaos:       chaos,
+		Fabric:      fabricOpts,
 		Logf:        diag.Printf,
 	})
 	if err != nil {
@@ -138,5 +191,25 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		diag.Printf("http shutdown: %v", serr)
 	}
 	fmt.Fprintln(w, "bitspreadd: stopped")
+	return nil
+}
+
+// runPullWorker is -pull mode: lease partitions from the coordinator,
+// compute them with crash-safe checkpoints, upload, repeat until the
+// sweep drains. The lifecycle lines on w mirror the daemon's so the
+// same supervisors can scrape either mode.
+func runPullWorker(ctx context.Context, w io.Writer, url, name, dir string) error {
+	diag := log.New(os.Stderr, "bitspreadd: ", 0)
+	fmt.Fprintf(w, "bitspreadd: worker %s pulling from %s\n", name, url)
+	err := serve.RunPullWorker(ctx, serve.PullWorkerOptions{
+		URL:      url,
+		Name:     name,
+		ShardDir: dir,
+		Logf:     diag.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bitspreadd: worker %s done\n", name)
 	return nil
 }

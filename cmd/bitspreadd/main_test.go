@@ -14,6 +14,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -24,7 +25,10 @@ import (
 	"testing"
 	"time"
 
+	"bitspread/internal/experiments"
+	"bitspread/internal/fabric"
 	"bitspread/internal/serve"
+	"bitspread/internal/sim"
 )
 
 func TestMain(m *testing.M) {
@@ -330,7 +334,172 @@ func TestSIGTERMDrainsAndExitsZero(t *testing.T) {
 
 // TestBadFlags keeps the flag surface honest without a subprocess.
 func TestBadFlags(t *testing.T) {
-	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, os.Stderr); err == nil {
-		t.Fatal("unknown flag accepted")
+	for name, args := range map[string][]string{
+		"unknown flag":            {"-definitely-not-a-flag"},
+		"pull plus coordinator":   {"-pull", "http://127.0.0.1:1", "-fabric-exp", "T2"},
+		"worker without pull":     {"-worker", "w1"},
+		"shard-dir without pull":  {"-shard-dir", "/tmp/x"},
+		"pull without worker":     {"-pull", "http://127.0.0.1:1", "-shard-dir", "/tmp/x"},
+		"pull without shard dir":  {"-pull", "http://127.0.0.1:1", "-worker", "w1"},
+		"coordinator unknown exp": {"-fabric-exp", "nope", "-addr", "127.0.0.1:0"},
+	} {
+		if err := run(context.Background(), args, io.Discard); err == nil {
+			t.Errorf("%s: accepted %q", name, args)
+		}
+	}
+}
+
+// startWorker re-execs the test binary as a bitspreadd pull worker. No
+// address to wait for: workers announce themselves with a "pulling
+// from" line and exit on their own when the sweep drains.
+func startWorker(t *testing.T, name, url, dir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	args := fmt.Sprintf("-pull %s -worker %s -shard-dir %s", url, name, dir)
+	cmd.Env = append(os.Environ(), "BITSPREADD_CHILD=1", "BITSPREADD_ARGS="+args)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start worker: %v", err)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+	}()
+	d := &daemon{t: t, cmd: cmd, lines: lines}
+	t.Cleanup(d.kill)
+	return d
+}
+
+// fabricReferenceBytes is the single-process, single-worker journal the
+// coordinator's merged output must reproduce byte for byte.
+func fabricReferenceBytes(t *testing.T, spec fabric.SweepSpec) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ref.jsonl")
+	j, err := sim.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := spec.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.Options{Seed: spec.Seed, Workers: 1, Quick: spec.Quick, Journal: j}
+	for _, e := range exps {
+		if _, err := e.Run(opts); err != nil {
+			t.Fatalf("reference %s: %v", e.ID, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFabricWorkerSIGKILLReleaseByteIdentity is the distributed-sweep
+// acceptance proof with real processes: a coordinator daemon leases
+// partitions to a pull worker, the worker is SIGKILLed mid-lease, its
+// expired lease is re-issued to a second worker, and the merged journal
+// the coordinator finally serves is byte-identical to a single-process
+// single-worker run.
+func TestFabricWorkerSIGKILLReleaseByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e test")
+	}
+	const ttl = 2 * time.Second
+	spec := fabric.SweepSpec{Exps: []string{"T2", "F1"}, Seed: 7, Quick: true, SimWorkers: 1}
+	want := fabricReferenceBytes(t, spec)
+
+	coord := startDaemon(t, "-addr 127.0.0.1:0 -fabric-exp T2,F1 -fabric-seed 7 -fabric-quick -fabric-partitions 2 -lease-ttl "+ttl.String())
+
+	// Worker 1 leases a partition and starts checkpointing replicas;
+	// once its shard has real mid-lease state, murder it.
+	w1dir := t.TempDir()
+	w1 := startWorker(t, "w1", coord.url, w1dir)
+	killed := false
+	for i := 0; i < 30000; i++ {
+		matches, _ := filepath.Glob(filepath.Join(w1dir, "shard-*.jsonl"))
+		var total int
+		for _, m := range matches {
+			if b, err := os.ReadFile(m); err == nil {
+				total += bytes.Count(b, []byte("\n"))
+			}
+		}
+		if total >= 2 {
+			killed = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !killed {
+		t.Fatal("worker 1 never checkpointed replicas before the kill window closed")
+	}
+	if err := w1.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL worker 1: %v", err)
+	}
+	_ = w1.wait() // non-zero exit expected: it was murdered
+
+	// Let the dead worker's lease expire so the survivor triggers a
+	// re-issue (not just a steal).
+	time.Sleep(ttl + ttl/2)
+
+	// Worker 2, fresh shard directory: it must pick up the orphaned
+	// partition and drain the whole sweep, then exit 0 on its own.
+	w2 := startWorker(t, "w2", coord.url, t.TempDir())
+	if err := w2.wait(); err != nil {
+		t.Fatalf("worker 2 exit: %v, want clean exit 0", err)
+	}
+	var sawDone bool
+	for line := range w2.lines {
+		if strings.Contains(line, "worker w2 done") {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Error("worker 2 never announced the drained sweep")
+	}
+
+	// The board records the recovery...
+	resp, err := http.Get(coord.url + "/v1/fabric/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.FabricStatus
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if !st.Drained {
+		t.Fatalf("status %+v, want drained", st)
+	}
+	if st.Board.Reissues < 1 {
+		t.Errorf("board reissues = %d, want >= 1 (the SIGKILLed lease must have been re-issued)", st.Board.Reissues)
+	}
+
+	// ...and the merged journal is the single-process reference, byte
+	// for byte, despite the crash and the re-lease.
+	resp, err = http.Get(coord.url + "/v1/fabric/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("journal: code %d err %v", resp.StatusCode, rerr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged journal after SIGKILL + re-lease is not byte-identical to the single-process reference")
 	}
 }

@@ -16,6 +16,15 @@
 //	bitsweep -exp F4 -csv > f4.csv
 //	bitsweep -exp all -journal sweep.jsonl          # ^C-safe
 //	bitsweep -exp all -journal sweep.jsonl -resume  # continue after ^C
+//
+// Sweeps also distribute across machines with zero coordination
+// (internal/fabric): each worker runs one shard of the deterministic
+// (task, replica) partition, and the shard journals merge into a
+// checkpoint byte-identical to a single-process run:
+//
+//	bitsweep -exp all -partition 0/2 -journal shard0.jsonl   # worker 1
+//	bitsweep -exp all -partition 1/2 -journal shard1.jsonl   # worker 2
+//	bitsweep -exp all -join 'shard*.jsonl' -journal merged.jsonl
 package main
 
 import (
@@ -26,11 +35,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"bitspread/internal/experiments"
+	"bitspread/internal/fabric"
 	"bitspread/internal/obs"
 	"bitspread/internal/sim"
 	"bitspread/internal/table"
@@ -59,9 +71,11 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		workers = fs.Int("workers", 0, "simulation worker goroutines (0: GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
 		md      = fs.Bool("md", false, "emit a Markdown paper-vs-measured table (the EXPERIMENTS.md format)")
-		journal = fs.String("journal", "", "JSONL checkpoint file: every finished replica is flushed here")
-		resume  = fs.Bool("resume", false, "load finished replicas from the -journal file instead of recomputing them")
-		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0: none)")
+		journal   = fs.String("journal", "", "JSONL checkpoint file: every finished replica is flushed here")
+		resume    = fs.Bool("resume", false, "load finished replicas from the -journal file instead of recomputing them")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0: none)")
+		partition = fs.String("partition", "", "run one shard i/N of the sweep's (task, replica) space, checkpointing owned replicas to -journal (no tables)")
+		join      = fs.String("join", "", "comma-separated shard journals or globs; merge them into -journal and render from the merged checkpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +94,15 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 	if *resume && *journal == "" {
 		return errors.New("-resume needs -journal to know which checkpoint to load")
 	}
+	if *partition != "" && *join != "" {
+		return errors.New("-partition and -join are mutually exclusive: a process either produces one shard or merges finished shards")
+	}
+	if *partition != "" && *journal == "" {
+		return errors.New("-partition needs -journal: the shard's only output is its checkpoint file")
+	}
+	if *join != "" && *journal == "" {
+		return errors.New("-join needs -journal as the merge destination")
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -91,6 +114,41 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 			fmt.Fprintf(w, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
 		return nil
+	}
+
+	if *partition != "" {
+		shard, err := fabric.ParseShard(*partition)
+		if err != nil {
+			return err
+		}
+		var exps []string
+		if *expSpec != "all" {
+			exps = strings.Split(*expSpec, ",")
+		}
+		spec := fabric.SweepSpec{Exps: exps, Seed: *seed, Quick: *quick, SimWorkers: *workers}
+		logf := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+		stats, err := fabric.RunShard(ctx, spec, shard, *journal, *resume, logf)
+		if err != nil {
+			return sweepErr("shard "+shard.String(), err, *journal)
+		}
+		fmt.Fprintf(w, "shard %s: %d replicas checkpointed to %s (%d experiments, %d partial-data errors tolerated)\n",
+			shard, stats.Checkpointed, *journal, stats.Experiments, stats.TolerableErrors)
+		return nil
+	}
+
+	if *join != "" {
+		srcs, err := expandJoin(*join)
+		if err != nil {
+			return err
+		}
+		stats, err := sim.MergeJournalFiles(*journal, srcs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "joined %s -> %s\n\n", stats, *journal)
+		// Render from the merged checkpoint exactly like -resume: replicas
+		// every shard covered are served back, gaps are recomputed.
+		*resume = true
 	}
 
 	var selected []experiments.Experiment
@@ -176,6 +234,40 @@ func run(ctx context.Context, args []string, w io.Writer) (err error) {
 		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// expandJoin resolves the -join argument: comma-separated shard paths,
+// each either a literal file or a glob. Merging fewer than two literal
+// inputs is almost certainly a typo'd single path, so it is rejected
+// unless a glob was given (a glob legitimately matches however many
+// shards finished).
+func expandJoin(spec string) ([]string, error) {
+	var paths []string
+	hasGlob := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.ContainsAny(part, "*?[") {
+			hasGlob = true
+			matches, err := filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("-join pattern %q: %w", part, err)
+			}
+			paths = append(paths, matches...)
+		} else {
+			paths = append(paths, part)
+		}
+	}
+	if !hasGlob && len(paths) < 2 {
+		return nil, fmt.Errorf("-join needs at least two shard files or a glob pattern, got %d input(s)", len(paths))
+	}
+	if len(paths) == 0 {
+		return nil, errors.New("-join matched no shard files")
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 // sweepErr wraps an experiment failure; for an interruption it adds the

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -180,4 +181,143 @@ func stripTimings(s string) string {
 		keep = append(keep, line)
 	}
 	return strings.Join(keep, "\n")
+}
+
+// Flag validation for the fabric transports, table-driven: every bad
+// combination must fail before any work starts.
+func TestRunFabricFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"partition without journal", []string{"-partition", "0/2"}, "-partition needs -journal"},
+		{"partition with join", []string{"-partition", "0/2", "-join", "a.jsonl,b.jsonl", "-journal", "m.jsonl"}, "mutually exclusive"},
+		{"join without journal", []string{"-join", "a.jsonl,b.jsonl"}, "-join needs -journal"},
+		{"join single literal", []string{"-join", "only.jsonl", "-journal", "m.jsonl"}, "at least two shard files or a glob"},
+		{"join empty list", []string{"-join", " , ", "-journal", "m.jsonl"}, "at least two shard files or a glob"},
+		{"bad partition syntax", []string{"-partition", "2", "-journal", "s.jsonl"}, "bad partition"},
+		{"partition index out of range", []string{"-partition", "2/2", "-journal", "s.jsonl"}, "outside"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(context.Background(), c.args, &out)
+			if err == nil {
+				t.Fatalf("args %v accepted", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("args %v: error %q missing %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// A glob that matches nothing is an error, not an empty merge.
+func TestRunJoinGlobMatchesNothing(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-join", filepath.Join(dir, "shard*.jsonl"),
+		"-journal", filepath.Join(dir, "merged.jsonl"),
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "matched no shard files") {
+		t.Fatalf("empty glob: %v", err)
+	}
+}
+
+// The tentpole acceptance scenario at the CLI: partitions 0/2 and 1/2 run
+// as separate invocations, -join merges them, and both the merged journal
+// bytes and the rendered tables are identical to a single-process
+// -workers 1 run.
+func TestRunPartitionJoinByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-exp", "T2,F1", "-quick", "-seed", "7"}
+
+	// Single-process reference: one worker, one journal.
+	ref := filepath.Join(dir, "ref.jsonl")
+	var want strings.Builder
+	if err := run(context.Background(), append(base, "-workers", "1", "-journal", ref), &want); err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refBytes) == 0 {
+		t.Fatal("reference journal empty")
+	}
+
+	// Two independent shard processes (parallel sim workers inside each).
+	for i := 0; i < 2; i++ {
+		var out strings.Builder
+		shardArgs := append(base, "-partition", fmt.Sprintf("%d/2", i),
+			"-journal", filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i)))
+		if err := run(context.Background(), shardArgs, &out); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if !strings.Contains(out.String(), "replicas checkpointed") {
+			t.Fatalf("shard %d banner missing:\n%s", i, out.String())
+		}
+	}
+
+	// Join via glob and render.
+	merged := filepath.Join(dir, "merged.jsonl")
+	var joined strings.Builder
+	joinArgs := append(base, "-join", filepath.Join(dir, "shard*.jsonl"), "-journal", merged)
+	if err := run(context.Background(), joinArgs, &joined); err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mergedBytes) != string(refBytes) {
+		t.Error("merged journal is not byte-identical to the single-process reference")
+	}
+
+	got := joined.String()
+	if !strings.Contains(got, "joined") {
+		t.Errorf("join banner missing:\n%s", got)
+	}
+	got = got[strings.Index(got, "== T2"):]
+	wantTables := want.String()[strings.Index(want.String(), "== T2"):]
+	if stripTimings(got) != stripTimings(wantTables) {
+		t.Errorf("joined tables differ from single-process run:\n--- want\n%s\n--- got\n%s", wantTables, got)
+	}
+}
+
+// Overlapping shards are legal: a full 0/1 "shard" plus a 0/2 shard merge
+// with every duplicate verified and deduplicated.
+func TestRunJoinOverlappingShards(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-exp", "T2", "-quick", "-seed", "7"}
+	for i, p := range []string{"0/2", "0/1"} {
+		var out strings.Builder
+		args := append(base, "-partition", p, "-journal", filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i)))
+		if err := run(context.Background(), args, &out); err != nil {
+			t.Fatalf("shard %s: %v", p, err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	var joined strings.Builder
+	args := append(base, "-join", filepath.Join(dir, "shard0.jsonl")+","+filepath.Join(dir, "shard1.jsonl"), "-journal", merged)
+	if err := run(context.Background(), args, &joined); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(joined.String(), "duplicates deduped") {
+		t.Errorf("join stats missing dedup count:\n%s", joined.String())
+	}
+
+	// Reference for byte comparison.
+	ref := filepath.Join(dir, "ref.jsonl")
+	var want strings.Builder
+	if err := run(context.Background(), append(base, "-workers", "1", "-journal", ref), &want); err != nil {
+		t.Fatal(err)
+	}
+	refBytes, _ := os.ReadFile(ref)
+	gotBytes, _ := os.ReadFile(merged)
+	if string(gotBytes) != string(refBytes) {
+		t.Error("overlapping merge differs from reference")
+	}
 }

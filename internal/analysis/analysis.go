@@ -166,8 +166,10 @@ func (p *Pass) ReportOrSuppress(pos token.Pos, directiveName, format string, arg
 // deterministicPkgs are the package-path suffixes whose code must be a
 // pure function of (seed, Config, Shards): the engines, the protocol
 // algebra, the fault schedules, the Monte-Carlo runner, the RNG itself,
-// and the numeric layers (bias constants, Markov chains) whose outputs
-// experiments compare across runs.
+// the numeric layers (bias constants, Markov chains) whose outputs
+// experiments compare across runs, and the sweep fabric, whose shard
+// assignment and merge must replay byte-identically (lease clocks are
+// threaded in as explicit time.Time arguments, never read ambiently).
 var deterministicPkgs = []string{
 	"internal/engine",
 	"internal/protocol",
@@ -176,6 +178,7 @@ var deterministicPkgs = []string{
 	"internal/rng",
 	"internal/bias",
 	"internal/markov",
+	"internal/fabric",
 }
 
 // IsDeterministicPkg reports whether the import path belongs to the

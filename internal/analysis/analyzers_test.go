@@ -10,6 +10,7 @@ import "testing"
 func TestDetRandFixtures(t *testing.T) {
 	RunFixture(t, DetRand, "detrand.example/internal/engine")
 	RunFixture(t, DetRand, "detrand.example/internal/sim")
+	RunFixture(t, DetRand, "detrand.example/internal/fabric")
 	RunFixture(t, DetRand, "detrand.example/cmd/tool")
 }
 
@@ -62,7 +63,9 @@ func TestIsDeterministicPkg(t *testing.T) {
 		{"bitspread/internal/rng", true},
 		{"fix.example/internal/sim", true},
 		{"internal/markov", true},
+		{"bitspread/internal/fabric", true},
 		{"bitspread/internal/experiments", false},
+		{"bitspread/internal/serve", false},
 		{"bitspread/cmd/bitsim", false},
 		{"bitspread/internal/engineering", false},
 	}

@@ -1,0 +1,59 @@
+// Fixture: the distributed-sweep fabric is deterministic core — shard
+// assignment and shard computation must be pure functions of (spec,
+// shard), so wall-clock reads are banned outright (lease expiry is the
+// coordinator's business, passed in as an explicit time.Time) and a
+// goroutine fanning out over partitions must not share an RNG stream.
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"bitspread/internal/rng"
+)
+
+// leaseExpired shows the blessed clock idiom: the fabric never reads
+// the wall clock itself — callers thread `now` through explicitly, so
+// board decisions replay identically in tests.
+func leaseExpired(expiry, now time.Time) bool {
+	return now.After(expiry)
+}
+
+// leaseExpiredAmbient reaches for the ambient clock instead; inside the
+// deterministic core that is an error with no suppression.
+func leaseExpiredAmbient(expiry time.Time) bool {
+	return time.Now().After(expiry) // want "time.Now in deterministic package"
+}
+
+// runPartitions is the blessed fan-out: one stream per partition is
+// derived with SplitN before any goroutine starts and handed over as a
+// parameter, so replica draws cannot depend on the scheduler.
+func runPartitions(g *rng.RNG, parts int) []uint64 {
+	streams := g.SplitN(parts)
+	out := make([]uint64, parts)
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(i int, gg *rng.RNG) {
+			defer wg.Done()
+			out[i] = gg.Uint64()
+		}(i, streams[i])
+	}
+	wg.Wait()
+	return out
+}
+
+// runPartitionsShared lets every partition goroutine draw from the one
+// parent stream: the (task, replica) results would depend on which
+// worker got scheduled first, breaking merge byte-identity.
+func runPartitionsShared(g *rng.RNG, parts int) {
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = g.Uint64() // want "captures shared RNG stream"
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,163 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// clock returns successive instants without touching the wall clock: the
+// board takes explicit times, so tests drive it with a counter.
+func at(sec int) time.Time {
+	return time.Date(2026, 1, 1, 0, 0, sec, 0, time.UTC)
+}
+
+func TestNewBoardValidation(t *testing.T) {
+	if _, err := NewBoard(0, time.Second); err == nil {
+		t.Fatal("0 partitions accepted")
+	}
+	if _, err := NewBoard(2, 0); err == nil {
+		t.Fatal("zero ttl accepted")
+	}
+}
+
+// Happy path: two workers drain two partitions, no reissues, no steals.
+func TestBoardLifecycle(t *testing.T) {
+	b, err := NewBoard(2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, l1 := b.Acquire("w1", at(0))
+	if st != Granted || l1.Shard != (Shard{0, 2}) || l1.Stolen {
+		t.Fatalf("first acquire: %v %+v", st, l1)
+	}
+	st, l2 := b.Acquire("w2", at(0))
+	if st != Granted || l2.Shard != (Shard{1, 2}) {
+		t.Fatalf("second acquire: %v %+v", st, l2)
+	}
+	if !b.Renew(l1.ID, at(5)) {
+		t.Fatal("renew of live lease refused")
+	}
+	if _, dup, err := b.Complete(l1.ID); err != nil || dup {
+		t.Fatalf("complete l1: dup=%v err=%v", dup, err)
+	}
+	if _, dup, err := b.Complete(l2.ID); err != nil || dup {
+		t.Fatalf("complete l2: dup=%v err=%v", dup, err)
+	}
+	if st, _ := b.Acquire("w1", at(6)); st != Drained {
+		t.Fatalf("drained board answered %v", st)
+	}
+	if !b.Drained() {
+		t.Fatal("Drained() false after all completions")
+	}
+	s := b.Stats()
+	if s.Done != 2 || s.Reissues != 0 || s.Steals != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// A lease that expires un-renewed is re-issued to the next worker, and
+// the zombie's old lease ID can no longer renew — but its completion
+// still counts (determinism makes its bytes as good as anyone's).
+func TestBoardExpiryReissue(t *testing.T) {
+	b, _ := NewBoard(1, 10*time.Second)
+	_, dead := b.Acquire("w1", at(0))
+	if st, _ := b.Acquire("w1", at(5)); st != Wait {
+		t.Fatal("holder re-acquired its own live lease before expiry")
+	}
+	st, release := b.Acquire("w2", at(11))
+	if st != Granted || release.Shard != (Shard{0, 1}) {
+		t.Fatalf("expired lease not re-issued: %v %+v", st, release)
+	}
+	if b.Renew(dead.ID, at(12)) {
+		t.Fatal("superseded lease renewed")
+	}
+	if !b.Renew(release.ID, at(12)) {
+		t.Fatal("live re-issued lease refused renewal")
+	}
+	if _, dup, err := b.Complete(dead.ID); err != nil || dup {
+		t.Fatalf("zombie completion rejected: dup=%v err=%v", dup, err)
+	}
+	if _, dup, err := b.Complete(release.ID); err != nil || !dup {
+		t.Fatalf("second completion not flagged duplicate: dup=%v err=%v", dup, err)
+	}
+	if s := b.Stats(); s.Reissues != 1 || s.Done != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// An idle worker steals a live straggler lease: same generation, marked
+// Stolen, at most one steal per generation, never from itself.
+func TestBoardSteal(t *testing.T) {
+	b, _ := NewBoard(1, 10*time.Second)
+	_, orig := b.Acquire("w1", at(0))
+	if st, _ := b.Acquire("w1", at(1)); st != Wait {
+		t.Fatal("worker stole its own lease")
+	}
+	st, stolen := b.Acquire("w2", at(1))
+	if st != Granted || !stolen.Stolen || stolen.ID != orig.ID {
+		t.Fatalf("steal: %v %+v (orig %q)", st, stolen, orig.ID)
+	}
+	if st, _ := b.Acquire("w3", at(2)); st != Wait {
+		t.Fatal("second steal of one generation granted")
+	}
+	// Thief finishes first; victim's later completion is a duplicate.
+	if _, dup, err := b.Complete(stolen.ID); err != nil || dup {
+		t.Fatalf("thief completion: dup=%v err=%v", dup, err)
+	}
+	if _, dup, err := b.Complete(orig.ID); err != nil || !dup {
+		t.Fatalf("victim completion: dup=%v err=%v", dup, err)
+	}
+	if s := b.Stats(); s.Steals != 1 || s.Done != 1 || s.Reissues != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// Stealing prefers the straggler closest to expiry.
+func TestBoardStealPicksOldest(t *testing.T) {
+	b, _ := NewBoard(2, 10*time.Second)
+	_, l0 := b.Acquire("w1", at(0))
+	if _, l1 := b.Acquire("w2", at(3)); l1.Shard.Index != 1 {
+		t.Fatalf("setup: %+v", l1)
+	}
+	st, stolen := b.Acquire("w3", at(4))
+	if st != Granted || !stolen.Stolen || stolen.Shard.Index != 0 {
+		t.Fatalf("steal picked %+v, want partition 0 (expires first, %v)", stolen, l0.Expiry)
+	}
+}
+
+func TestBoardCompleteErrors(t *testing.T) {
+	b, _ := NewBoard(2, time.Second)
+	if _, _, err := b.Complete("garbage"); err == nil {
+		t.Fatal("malformed lease id accepted")
+	}
+	if _, _, err := b.Complete("p9.g1"); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if _, _, err := b.Complete("p0.g1"); err == nil {
+		t.Fatal("never-issued lease accepted")
+	}
+	_, l := b.Acquire("w1", at(0))
+	if part, dup, err := b.Complete(l.ID); err != nil || dup || part != 0 {
+		t.Fatalf("complete: part=%d dup=%v err=%v", part, dup, err)
+	}
+}
+
+func TestBoardMarkDone(t *testing.T) {
+	b, _ := NewBoard(2, time.Second)
+	if err := b.MarkDone(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MarkDone(5); err == nil {
+		t.Fatal("out-of-range MarkDone accepted")
+	}
+	st, l := b.Acquire("w1", at(0))
+	if st != Granted || l.Shard.Index != 0 {
+		t.Fatalf("acquire after MarkDone(1): %v %+v", st, l)
+	}
+	if _, _, err := b.Complete(l.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Drained() {
+		t.Fatal("board not drained after MarkDone + complete")
+	}
+}

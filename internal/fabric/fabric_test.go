@@ -1,0 +1,284 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitspread/internal/experiments"
+	"bitspread/internal/sim"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{in: "0/1", want: Shard{0, 1}},
+		{in: "0/4", want: Shard{0, 4}},
+		{in: "3/4", want: Shard{3, 4}},
+		{in: " 1 / 2 ", want: Shard{1, 2}},
+		{in: "4/4", wantErr: true},
+		{in: "-1/4", wantErr: true},
+		{in: "0/0", wantErr: true},
+		{in: "1/-2", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "a/b", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseShard(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseShard(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Every (key, replica) pair belongs to exactly one shard, for any count.
+func TestPartitionCompleteAndDisjoint(t *testing.T) {
+	keys := []string{"T2#00000000deadbeef", "F1#0000000012345678", "X3#abcdef0000000000"}
+	for _, count := range []int{1, 2, 3, 4, 7, 16} {
+		for _, key := range keys {
+			for replica := 0; replica < 64; replica++ {
+				owners := 0
+				for i := 0; i < count; i++ {
+					if (Shard{Index: i, Count: count}).Owns(key, replica) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("count=%d key=%s replica=%d: %d owners, want exactly 1", count, key, replica, owners)
+				}
+			}
+		}
+	}
+}
+
+// The assignment is a pure function: stable across calls and spread
+// non-trivially (no shard owns everything at count >= 2).
+func TestPartitionDeterministicAndSpread(t *testing.T) {
+	key := "T2#00000000deadbeef"
+	for replica := 0; replica < 32; replica++ {
+		if Assign(key, replica) != Assign(key, replica) {
+			t.Fatalf("Assign unstable for replica %d", replica)
+		}
+	}
+	counts := make([]int, 2)
+	for replica := 0; replica < 200; replica++ {
+		counts[Assign(key, replica)%2]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("degenerate split over 200 replicas: %v", counts)
+	}
+}
+
+func TestSweepSpecExperiments(t *testing.T) {
+	all, err := SweepSpec{}.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(experiments.All()) {
+		t.Fatalf("empty spec resolved %d experiments, want all %d", len(all), len(experiments.All()))
+	}
+	two, err := SweepSpec{Exps: []string{"T2", " F1 "}}.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].ID != "T2" || two[1].ID != "F1" {
+		t.Fatalf("got %v, want [T2 F1]", two)
+	}
+	if _, err := (SweepSpec{Exps: []string{"nope"}}).Experiments(); err == nil {
+		t.Fatal("unknown experiment id did not error")
+	}
+}
+
+// referenceJournal runs the spec in one process with one sim worker —
+// the canonical byte stream every partitioned run must reproduce.
+func referenceJournal(t *testing.T, spec SweepSpec) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ref.jsonl")
+	j, err := sim.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.Options{Seed: spec.Seed, Workers: 1, Quick: spec.Quick, Journal: j}
+	exps, err := spec.Experiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		if _, err := e.Run(opts); err != nil {
+			t.Fatalf("reference run %s: %v", e.ID, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The tentpole proof at package level: shards 0/N..N-1/N, run
+// independently with parallel sim workers, merge to the exact bytes of
+// the single-process single-worker reference journal.
+func TestRunShardMergeByteIdentity(t *testing.T) {
+	spec := SweepSpec{Exps: []string{"T2", "F1"}, Seed: 7, Quick: true, SimWorkers: 2}
+	want := referenceJournal(t, spec)
+	if len(want) == 0 {
+		t.Fatal("reference journal is empty; experiment selection records nothing")
+	}
+
+	for _, count := range []int{1, 2, 3} {
+		dir := t.TempDir()
+		var paths []string
+		total := 0
+		for i := 0; i < count; i++ {
+			path := filepath.Join(dir, "shard.jsonl")
+			if count > 1 {
+				path = filepath.Join(dir, "shard"+string(rune('0'+i))+".jsonl")
+			}
+			stats, err := RunShard(context.Background(), spec, Shard{Index: i, Count: count}, path, false, t.Logf)
+			if err != nil {
+				t.Fatalf("count=%d shard %d: %v", count, i, err)
+			}
+			total += stats.Checkpointed
+			paths = append(paths, path)
+		}
+		merged := filepath.Join(dir, "merged.jsonl")
+		stats, err := sim.MergeJournalFiles(merged, paths...)
+		if err != nil {
+			t.Fatalf("count=%d merge: %v", count, err)
+		}
+		got, err := os.ReadFile(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("count=%d: merged journal differs from single-process reference\nmerge stats: %s\nshard totals: %d", count, stats, total)
+		}
+		if stats.Deduped != 0 {
+			t.Errorf("count=%d: disjoint shards deduped %d entries, want 0", count, stats.Deduped)
+		}
+	}
+}
+
+// Overlapping shards (0/2, 1/2 and a full 0/1 copy) merge to the same
+// bytes with every duplicate verified identical and deduplicated.
+func TestRunShardMergeOverlap(t *testing.T) {
+	spec := SweepSpec{Exps: []string{"T2"}, Seed: 7, Quick: true, SimWorkers: 2}
+	want := referenceJournal(t, spec)
+
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "a.jsonl"),
+		filepath.Join(dir, "b.jsonl"),
+		filepath.Join(dir, "full.jsonl"),
+	}
+	shards := []Shard{{0, 2}, {1, 2}, {0, 1}}
+	for i, sh := range shards {
+		if _, err := RunShard(context.Background(), spec, sh, paths[i], false, t.Logf); err != nil {
+			t.Fatalf("shard %v: %v", sh, err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	stats, err := sim.MergeJournalFiles(merged, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("overlapping merge differs from reference (%s)", stats)
+	}
+	if stats.Deduped != stats.Entries {
+		t.Errorf("full-copy overlap: deduped %d of %d entries, want all", stats.Deduped, stats.Entries)
+	}
+}
+
+// A killed shard leaves a partial journal; re-running with resume reuses
+// it and the final merge is still byte-identical.
+func TestRunShardResumeAfterPartial(t *testing.T) {
+	spec := SweepSpec{Exps: []string{"T2"}, Seed: 7, Quick: true, SimWorkers: 2}
+	want := referenceJournal(t, spec)
+
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	if _, err := RunShard(context.Background(), spec, Shard{0, 2}, a, false, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunShard(context.Background(), spec, Shard{1, 2}, b, false, t.Logf); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a worker killed mid-write: keep a prefix of shard b and
+	// tear its final line.
+	data, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("shard b too small to truncate meaningfully: %d lines", len(lines))
+	}
+	partial := bytes.Join(lines[:2], nil)
+	partial = append(partial, lines[2][:len(lines[2])/2]...)
+	if err := os.WriteFile(b, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunShard(context.Background(), spec, Shard{1, 2}, b, true, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checkpointed == 0 {
+		t.Fatal("resumed shard checkpointed nothing")
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	if _, err := sim.MergeJournalFiles(merged, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merge after kill+resume differs from reference")
+	}
+}
+
+func TestRunShardValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := RunShard(context.Background(), SweepSpec{}, Shard{2, 2}, filepath.Join(dir, "j.jsonl"), false, nil); err == nil {
+		t.Fatal("invalid shard accepted")
+	}
+	if _, err := RunShard(context.Background(), SweepSpec{Exps: []string{"nope"}}, Shard{0, 1}, filepath.Join(dir, "j.jsonl"), false, nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunShardCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunShard(ctx, SweepSpec{Exps: []string{"T2"}, Seed: 1, Quick: true}, Shard{0, 1},
+		filepath.Join(t.TempDir(), "j.jsonl"), false, nil)
+	if err == nil {
+		t.Fatal("cancelled context did not abort the shard")
+	}
+}

@@ -619,7 +619,7 @@ func TestRestartResumesJournalByteIdentical(t *testing.T) {
 	// Restart: the job is re-enqueued at startup and completes, serving the
 	// 8 checkpointed replicas from the journal.
 	reg := obs.NewRegistry()
-	_, ts := newTestServer(t, Options{DataDir: dir, Workers: 1, Registry: reg})
+	srv, ts := newTestServer(t, Options{DataDir: dir, Workers: 1, Registry: reg})
 	if st := waitTerminal(t, ts, id); st.State != "done" {
 		t.Fatalf("resumed job ended %q (error %q), want done", st.State, st.Error)
 	}
@@ -645,7 +645,11 @@ func TestRestartResumesJournalByteIdentical(t *testing.T) {
 	}
 
 	// A third daemon life over the same dir serves the result straight from
-	// the content-addressed cache without recomputing anything.
+	// the content-addressed cache without recomputing anything. Daemon
+	// lives are sequential: the journal's exclusive flock refuses a second
+	// concurrent writer, so the previous life must shut down first.
+	ts.Close()
+	srv.Close()
 	_, ts3 := newTestServer(t, Options{DataDir: dir, Workers: 1})
 	code, _, js := submitJSON(t, ts3, spec, "")
 	if code != http.StatusOK || !js.Cached {

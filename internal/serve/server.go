@@ -74,6 +74,11 @@ type Options struct {
 	// Chaos, if non-nil, injects seeded worker faults; integration tests
 	// use it to prove panic isolation and timeout handling.
 	Chaos *Chaos
+	// Fabric, if non-nil, additionally runs the daemon as a distributed
+	// sweep coordinator: /v1/lease hands shard leases of the configured
+	// sweep to pulling workers, completed shard bytes persist under
+	// DataDir/fabric/, and /v1/fabric/journal serves the canonical merge.
+	Fabric *FabricOptions
 	// Logf receives operational diagnostics (nil: discarded).
 	Logf func(format string, args ...any)
 
@@ -153,6 +158,7 @@ type Server struct {
 	journal *sim.Journal
 	log     *jobLog
 	cache   *resultCache
+	fabric  *fabricState
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -207,6 +213,14 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if opts.Fabric != nil {
+		fst, err := newFabricState(*opts.Fabric, opts.DataDir, opts.now, opts.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.fabric = fst
 	}
 
 	pending := s.replay(replayed)
@@ -297,6 +311,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/lease/{id}/renew", s.handleLeaseRenew)
+	mux.HandleFunc("POST /v1/lease/{id}/complete", s.handleLeaseComplete)
+	mux.HandleFunc("GET /v1/fabric/status", s.handleFabricStatus)
+	mux.HandleFunc("GET /v1/fabric/journal", s.handleFabricJournal)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -41,17 +41,54 @@ type journalEntry struct {
 	Result  engine.Result `json:"result"`
 }
 
+// partitionEntry is the shard-journal line format: journalEntry plus the
+// global task ordinal, so MergeJournals can restore the canonical
+// single-process line order without seeing every shard's task sequence.
+// The extra field is ignored by the resume loader, so a shard journal is
+// itself a valid resumable journal.
+type partitionEntry struct {
+	Task    string        `json:"task"`
+	Replica int           `json:"replica"`
+	Seq     int           `json:"seq"`
+	Result  engine.Result `json:"result"`
+}
+
+// PartitionFunc decides which replicas of a keyed task this process owns.
+// Every process of a partitioned sweep sees the identical task space (the
+// experiments run everywhere, deterministically); the partition function
+// selects the subset of (task key, replica) pairs this process computes
+// and checkpoints. internal/fabric provides the standard hash partition.
+type PartitionFunc func(key string, replica int) bool
+
 // Journal is an append-only JSONL checkpoint of completed replicas. Every
 // Record is flushed to the file before it returns, so a process killed
 // mid-sweep loses at most the replica in flight; reopening the same path
 // with resume=true replays the finished work instead of recomputing it.
 // A Journal is safe for concurrent use by the sim worker pool.
+//
+// The journal file is guarded by an exclusive advisory lock (flock) for
+// the journal's whole lifetime, so two processes can never interleave
+// writes to one checkpoint; the second opener fails fast with an error
+// naming the holder's PID.
 type Journal struct {
 	mu    sync.Mutex
 	f     *os.File
 	w     *bufio.Writer
 	fsync bool
 	done  map[string]map[int]engine.Result
+	// own, when non-nil, puts the journal in partition mode: RunContext
+	// skips replicas the partition does not own, and recorded lines carry
+	// the task ordinal for canonical-order merging.
+	own PartitionFunc
+	// ord assigns each task key its global ordinal — the order RunContext
+	// first saw it. All shards of a partitioned sweep run the same task
+	// sequence, so ordinals agree across shards without coordination.
+	ord     map[string]int
+	nextOrd int
+	// writeErr latches the first Record failure so a driver that discards
+	// per-task errors (partition workers tolerate table-stage failures on
+	// partial data) can still fail the shard on checkpoint loss.
+	writeErr error
 }
 
 // JournalOptions configures OpenJournalOpts beyond the historical
@@ -69,6 +106,11 @@ type JournalOptions struct {
 	// importantly the torn-final-line report when a crash cut a Record
 	// in half. Replayed state never depends on it.
 	Logf func(format string, args ...any)
+	// Partition, if non-nil, makes this a shard journal: RunContext
+	// computes and checkpoints only the replicas the partition owns
+	// (classifying the rest as Skipped), and every recorded line carries
+	// the task ordinal so MergeJournals can restore canonical order.
+	Partition PartitionFunc
 }
 
 // OpenJournal opens (or creates) the checkpoint file at path. With resume
@@ -84,38 +126,58 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 // JournalOptions: fsync-per-Record durability and a diagnostics hook for
 // crash-truncation recovery.
 func OpenJournalOpts(path string, opts JournalOptions) (*Journal, error) {
-	j := &Journal{done: map[string]map[int]engine.Result{}, fsync: opts.Fsync}
-	if opts.Resume {
-		if err := j.load(path, opts.Logf); err != nil {
-			return nil, err
-		}
+	j := &Journal{
+		done:  map[string]map[int]engine.Result{},
+		fsync: opts.Fsync,
+		own:   opts.Partition,
+		ord:   map[string]int{},
 	}
-	flags := os.O_CREATE | os.O_WRONLY
-	if opts.Resume {
-		flags |= os.O_APPEND
-	} else {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	// Open without truncating, take the exclusive lock, and only then
+	// touch the contents: a second opener must never clobber bytes the
+	// holder is still writing.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sim: open journal: %w", err)
+	}
+	if err := lockJournal(f, path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.Resume {
+		valid, err := j.load(path, opts.Logf)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		// Cut a torn final line off the file, not just the replay: the
+		// handle appends, and bytes after a torn fragment would otherwise
+		// turn it into mid-file corruption no later reader tolerates.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sim: trim torn journal tail: %w", err)
+		}
+	} else if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sim: truncate journal: %w", err)
 	}
 	j.f = f
 	j.w = bufio.NewWriter(f)
 	return j, nil
 }
 
-// load replays an existing journal file into the in-memory index. A
-// missing file is an empty journal.
-func (j *Journal) load(path string, logf func(string, ...any)) error {
+// load replays an existing journal file into the in-memory index and
+// returns the length of its valid prefix — everything up to (but not
+// including) a torn final line. A missing file is an empty journal.
+func (j *Journal) load(path string, logf func(string, ...any)) (int64, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("sim: read journal: %w", err)
+		return 0, fmt.Errorf("sim: read journal: %w", err)
 	}
 	lines := splitLines(data)
+	valid := int64(len(data))
 	for i, line := range lines {
 		if len(line) == 0 {
 			continue
@@ -128,13 +190,13 @@ func (j *Journal) load(path string, logf func(string, ...any)) error {
 				if logf != nil {
 					logf("sim: journal %s: dropping truncated final line %d (%d bytes): %v", path, i+1, len(line), err)
 				}
-				return nil
+				return valid - int64(len(line)), nil
 			}
-			return fmt.Errorf("sim: journal line %d corrupt: %w", i+1, err)
+			return 0, fmt.Errorf("sim: journal line %d corrupt: %w", i+1, err)
 		}
 		j.put(e.Task, e.Replica, e.Result)
 	}
-	return nil
+	return valid, nil
 }
 
 // splitLines splits on '\n' without requiring a trailing newline.
@@ -189,6 +251,45 @@ func (j *Journal) Len() int {
 	return n
 }
 
+// BeginTask assigns the task its global ordinal: the number of distinct
+// tasks this journal saw before it. RunContext calls it once per task,
+// owned replicas or not, so every shard of a partitioned sweep — all
+// running the identical experiment sequence — numbers the identical task
+// in the identical slot. No-op on a nil Journal.
+func (j *Journal) BeginTask(task string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.ord[task]; !ok {
+		j.ord[task] = j.nextOrd
+		j.nextOrd++
+	}
+}
+
+// Owns reports whether this process computes the given replica. Without a
+// partition (or on a nil Journal) every replica is owned — the
+// single-process behaviour.
+func (j *Journal) Owns(task string, replica int) bool {
+	if j == nil || j.own == nil {
+		return true
+	}
+	return j.own(task, replica)
+}
+
+// Err returns the first Record failure, if any. Partition workers discard
+// per-experiment errors (tables computed over a partial shard are expected
+// to fail) but must still fail the shard when a checkpoint write was lost.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}
+
 // Record checkpoints a finished replica, flushing the line to the file
 // before returning. Recording on a nil Journal is a no-op, so the sim
 // layer can thread an optional journal without branching.
@@ -198,11 +299,25 @@ func (j *Journal) Record(task string, replica int, r engine.Result) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	err := j.recordLocked(task, replica, r)
+	if err != nil && j.writeErr == nil {
+		j.writeErr = err
+	}
+	return err
+}
+
+func (j *Journal) recordLocked(task string, replica int, r engine.Result) error {
 	j.put(task, replica, r)
 	if j.w == nil {
 		return nil
 	}
-	line, err := json.Marshal(journalEntry{Task: task, Replica: replica, Result: r})
+	var line []byte
+	var err error
+	if j.own != nil {
+		line, err = json.Marshal(partitionEntry{Task: task, Replica: replica, Seq: j.ord[task], Result: r})
+	} else {
+		line, err = json.Marshal(journalEntry{Task: task, Replica: replica, Result: r})
+	}
 	if err != nil {
 		return fmt.Errorf("sim: journal encode: %w", err)
 	}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package sim
+
+import "os"
+
+// lockJournal is a no-op where flock(2) is unavailable: the journal keeps
+// its historical single-writer-by-convention behaviour on such platforms.
+func lockJournal(f *os.File, path string) error { return nil }

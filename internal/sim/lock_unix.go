@@ -1,0 +1,47 @@
+//go:build unix
+
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// lockJournal takes an exclusive advisory flock on the journal file for
+// the life of the file handle, so two processes can never interleave
+// writes to one checkpoint. The holder leaves its PID in a `<path>.lock`
+// sidecar; a second opener fails fast with an error naming that PID. The
+// kernel releases the lock when the holder's descriptor closes — a
+// SIGKILL'd holder never wedges the journal, and a stale sidecar is only
+// ever read while a live lock exists.
+func lockJournal(f *os.File, path string) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+			if pid, ok := holderPID(path); ok {
+				return fmt.Errorf("sim: journal %s is locked by pid %d (flock held; a second writer would corrupt the checkpoint)", path, pid)
+			}
+			return fmt.Errorf("sim: journal %s is locked by another process (flock held; a second writer would corrupt the checkpoint)", path)
+		}
+		return fmt.Errorf("sim: lock journal %s: %w", path, err)
+	}
+	// Best-effort holder advertisement; the lock itself is the guard.
+	_ = os.WriteFile(path+".lock", []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644)
+	return nil
+}
+
+// holderPID reads the lock sidecar written by the current holder.
+func holderPID(path string) (int, bool) {
+	b, err := os.ReadFile(path + ".lock")
+	if err != nil {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}

@@ -105,6 +105,12 @@ const (
 	Cancelled
 	// TimedOut is Cancelled where the cause was a context deadline.
 	TimedOut
+	// Skipped means the replica belongs to another partition of a
+	// multi-process sweep (the journal's PartitionFunc does not own it)
+	// and was neither computed nor served from the checkpoint; its Result
+	// is the zero value. Merging the partitions' journals recovers every
+	// skipped replica exactly.
+	Skipped
 )
 
 // String implements fmt.Stringer.
@@ -118,6 +124,8 @@ func (s ReplicaState) String() string {
 		return "cancelled"
 	case TimedOut:
 		return "timed-out"
+	case Skipped:
+		return "skipped"
 	default:
 		return fmt.Sprintf("ReplicaState(%d)", int(s))
 	}
@@ -143,7 +151,9 @@ type Outcome struct {
 }
 
 // Counts tallies the replica states. completed + failed + cancelled +
-// timedOut always equals len(Results).
+// timedOut + SkippedCount() always equals len(Results); outside
+// partitioned runs SkippedCount is zero and the historical four-way sum
+// holds.
 func (o *Outcome) Counts() (completed, failed, cancelled, timedOut int) {
 	if o.States == nil {
 		return len(o.Results), 0, 0, 0
@@ -156,11 +166,24 @@ func (o *Outcome) Counts() (completed, failed, cancelled, timedOut int) {
 			cancelled++
 		case TimedOut:
 			timedOut++
+		case Skipped:
 		default:
 			completed++
 		}
 	}
 	return
+}
+
+// SkippedCount returns how many replicas belong to other partitions of a
+// multi-process sweep (always zero outside partition mode).
+func (o *Outcome) SkippedCount() int {
+	n := 0
+	for _, s := range o.States {
+		if s == Skipped {
+			n++
+		}
+	}
+	return n
 }
 
 // Run executes the task's replicas on at most workers goroutines
@@ -238,11 +261,19 @@ func RunContext(ctx context.Context, t Task, workers int, journal *Journal) (Out
 		st.key = TaskKey(t)
 	}
 
-	// Serve checkpointed replicas from the journal; only the rest run.
+	// Lease-aware iteration: register the task's global ordinal (every
+	// shard of a partitioned sweep sees every task, so ordinals agree
+	// across shards), serve checkpointed replicas from the journal, skip
+	// replicas owned by other partitions, and run only the rest.
+	journal.BeginTask(st.key)
 	var pending []int
 	for i := 0; i < t.Replicas; i++ {
 		if r, ok := journal.Lookup(st.key, i); ok {
 			st.results[i] = r
+			continue
+		}
+		if !journal.Owns(st.key, i) {
+			st.states[i] = Skipped
 			continue
 		}
 		pending = append(pending, i)

@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -69,6 +70,12 @@ type Grid struct {
 	Seed uint64
 	// Workers bounds simulation concurrency (<= 0: GOMAXPROCS).
 	Workers int
+	// Ctx, if non-nil, cancels in-flight cells at round boundaries.
+	Ctx context.Context
+	// Journal, if non-nil, checkpoints every replica; a partitioned
+	// journal additionally restricts the sweep to the replicas the shard
+	// owns (the fabric transport for downstream sweeps).
+	Journal *sim.Journal
 }
 
 // Cell is one (family, n) measurement.
@@ -104,13 +111,13 @@ func (g *Grid) Run() ([]Cell, error) {
 			if err != nil {
 				return nil, err
 			}
-			out, err := sim.Run(sim.Task{
+			out, err := sim.RunContext(g.Ctx, sim.Task{
 				Name:     fmt.Sprintf("%s/%s/n=%d", g.Name, fam.Name(), n),
 				Config:   cfg,
 				Mode:     mode,
 				Replicas: g.Replicas,
 				Seed:     taskSeed,
-			}, g.Workers)
+			}, g.Workers, g.Journal)
 			if err != nil {
 				return nil, err
 			}

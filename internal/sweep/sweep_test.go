@@ -1,7 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"math"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -130,5 +133,51 @@ func TestInitString(t *testing.T) {
 		if i.String() == "" {
 			t.Errorf("empty name for %d", int(i))
 		}
+	}
+}
+
+// A journalled grid checkpoints every replica, a resumed run serves them
+// back unchanged, and cancellation propagates through Ctx.
+func TestGridJournalAndCtx(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.jsonl")
+	j, err := sim.OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := voterGrid()
+	g.Journal = j
+	cells, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != len(g.Ns)*g.Replicas {
+		t.Fatalf("journal holds %d replicas, want %d", j.Len(), len(g.Ns)*g.Replicas)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := sim.OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	g2 := voterGrid()
+	g2.Journal = j2
+	cells2, err := g2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, cells2) {
+		t.Fatal("resumed grid diverged from original")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g3 := voterGrid()
+	g3.Ctx = ctx
+	if _, err := g3.Run(); err == nil {
+		t.Fatal("cancelled grid did not error")
 	}
 }
