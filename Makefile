@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race race-packed obs-race serve-race fabric-race lint fuzz-fault bench-smoke ci bench bench-engines bench-agents bench-packed-scale bench-fabric-scale
+.PHONY: build test verify vet-race race-packed obs-race serve-race fabric-race lint lint-fixtures lint-audit lint-baseline ci bench bench-engines bench-agents bench-packed-scale bench-fabric-scale fuzz-fault bench-smoke
 
 build:
 	$(GO) build ./...
@@ -58,12 +58,33 @@ fabric-race:
 	$(GO) test -race -run 'TestRunFabric|TestRunJoin|TestRunPartition' ./cmd/bitsweep/
 	$(GO) test -race -run 'TestFabricWorker|TestBadFlags' ./cmd/bitspreadd/
 
-# Repo-specific static contracts (DESIGN.md §11): bitlint machine-checks
-# the determinism, probability-domain, and validate-before-work invariants
-# that `go vet` cannot see. Zero unsuppressed diagnostics is the bar;
-# every suppression carries a written justification.
+# Repo-specific static contracts (DESIGN.md §11, §15): bitlint
+# machine-checks the determinism, probability-domain, validate-before-work,
+# whole-program taint, cancellation, crash-safety, and atomic-mix
+# invariants that `go vet` cannot see, over every package including cmd/.
+# Zero unsuppressed diagnostics is the bar; every suppression carries a
+# written justification.
 lint:
 	$(GO) run ./cmd/bitlint ./...
+
+# Anti-vacuity gate for the lint suite itself: the `// want` fixture
+# packages under internal/analysis/testdata prove each analyzer still
+# fires on seeded violations and stays quiet on the sanctioned idioms,
+# and the cmd/bitlint seeded-module tests prove the CLI surfaces every
+# analyzer family end to end.
+lint-fixtures:
+	$(GO) test -run 'Fixtures|SuiteShape|Seeded|JSON|Baseline|SuppressionAudit' ./internal/analysis/ ./cmd/bitlint/
+
+# Suppression ledger: list every //bitlint: justification in the tree and
+# fail on any directive with an empty reason.
+lint-audit:
+	$(GO) run ./cmd/bitlint -suppression-audit ./...
+
+# Snapshot the current unsuppressed findings (sorted, line-per-finding)
+# so a tree with known debt can adopt the suite and still block
+# regressions via `bitlint -baseline lint-baseline.txt ./...`.
+lint-baseline:
+	$(GO) run ./cmd/bitlint -write-baseline lint-baseline.txt ./...
 
 # Fuzz smoke: every schedule the validator accepts must uphold the
 # Perturber contracts (counts in range, source slot untouched).
@@ -75,7 +96,7 @@ fuzz-fault:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race race-packed obs-race serve-race fabric-race lint fuzz-fault bench-smoke
+ci: verify vet-race race-packed obs-race serve-race fabric-race lint lint-fixtures fuzz-fault bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).

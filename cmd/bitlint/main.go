@@ -1,19 +1,33 @@
 // Command bitlint runs the repo's static-contract suite (internal/analysis)
 // over a set of packages and fails when any unsuppressed diagnostic
 // remains. It is the machine check behind `make lint`: determinism
-// (detrand, maporder), probability-domain (probrange), numeric-comparison
-// (floatcmp), and fail-fast (validatefirst) contracts all gate CI here
-// instead of living only in comments and dynamic suites.
+// (detrand, maporder, taintdet), probability-domain (probrange),
+// numeric-comparison (floatcmp), fail-fast (validatefirst),
+// cancellation (ctxloop), crash-safety (errsink), and data-race
+// (atomicmix) contracts all gate CI here instead of living only in
+// comments and dynamic suites.
 //
 // Usage:
 //
-//	bitlint [-json] [-show-suppressed] [packages...]
+//	bitlint [-json] [-show-suppressed] [-baseline FILE] [-write-baseline FILE] [-suppression-audit] [packages...]
 //
 // Packages default to ./... and accept any `go list` pattern. The exit
 // status is non-zero when an unsuppressed diagnostic is found, so the
 // tool slots directly into Makefiles. -json emits every diagnostic —
 // including suppressed ones with their justifications — as one JSON
-// document for tooling; the human mode prints vet-style lines.
+// document for tooling, with SARIF-style tool/rule metadata; the human
+// mode prints vet-style lines.
+//
+// -write-baseline FILE snapshots the current unsuppressed findings as a
+// sorted line-per-finding file; -baseline FILE then fails only on
+// findings NOT in the snapshot, so the suite can be adopted on a tree
+// with known debt and still block regressions. Baseline keys omit line
+// numbers deliberately: unrelated edits that shift a known finding must
+// not resurrect it.
+//
+// -suppression-audit lists every //bitlint: justification in the tree
+// (file, analyzer, reason) and fails if any directive has an empty
+// reason — the audit that keeps suppressions honest.
 package main
 
 import (
@@ -24,6 +38,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"bitspread/internal/analysis"
 )
@@ -42,11 +57,104 @@ type jsonDiag struct {
 	Reason     string `json:"reason,omitempty"`
 }
 
-// jsonReport is the top-level -json document.
+// jsonTool and jsonRule are the SARIF-style driver metadata: enough for a
+// converter to produce a conformant sarif run without re-deriving the
+// rule table from source.
+type jsonTool struct {
+	Name    string     `json:"name"`
+	Version string     `json:"version"`
+	Rules   []jsonRule `json:"rules"`
+}
+
+type jsonRule struct {
+	ID  string `json:"id"`
+	Doc string `json:"doc"`
+}
+
+// jsonReport is the top-level -json document. Tool was added for bitlint
+// v2; earlier fields are unchanged so existing consumers keep working.
 type jsonReport struct {
+	Tool         jsonTool   `json:"tool"`
 	Packages     []string   `json:"packages"`
 	Diagnostics  []jsonDiag `json:"diagnostics"`
 	Unsuppressed int        `json:"unsuppressed"`
+}
+
+// baselineKey renders one finding as its baseline line. Line and column
+// are omitted so unrelated edits that move a known finding do not
+// resurrect it; file, analyzer, and message identify it well enough in
+// practice because messages embed the symbol names involved.
+func baselineKey(d analysis.Diagnostic) string {
+	return d.Pos.Filename + "\t" + d.Analyzer + "\t" + d.Message
+}
+
+// readBaseline loads a baseline file into a set of finding keys.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bitlint: baseline: %w", err)
+	}
+	set := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			set[line] = true
+		}
+	}
+	return set, nil
+}
+
+// writeBaseline snapshots the unsuppressed findings, sorted and
+// deduplicated, one key per line.
+func writeBaseline(path string, diags []analysis.Diagnostic) (int, error) {
+	seen := map[string]bool{}
+	var keys []string
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if k := baselineKey(d); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := strings.Join(keys, "\n")
+	if out != "" {
+		out += "\n"
+	}
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		return 0, fmt.Errorf("bitlint: baseline: %w", err)
+	}
+	return len(keys), nil
+}
+
+// emptyReasonDiag recognizes the diagnostic the suite reports for a
+// //bitlint: directive that carries no justification text.
+func emptyReasonDiag(d analysis.Diagnostic) bool {
+	return strings.Contains(d.Message, "directive needs a justification")
+}
+
+// suppressionAudit lists every suppression with its justification and
+// fails when any directive has an empty reason.
+func suppressionAudit(w io.Writer, diags []analysis.Diagnostic) error {
+	empty := 0
+	suppressed := 0
+	for _, d := range diags {
+		if emptyReasonDiag(d) {
+			empty++
+			fmt.Fprintf(w, "%s: EMPTY REASON: %s\n", d.Pos, d.Message)
+			continue
+		}
+		if d.Suppressed {
+			suppressed++
+			fmt.Fprintf(w, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Reason)
+		}
+	}
+	fmt.Fprintf(w, "bitlint: %d suppression(s), %d with empty reasons\n", suppressed, empty)
+	if empty > 0 {
+		return fmt.Errorf("%w: %d suppression directive(s) without a justification", errViolations, empty)
+	}
+	return nil
 }
 
 func run(args []string, w io.Writer) error {
@@ -55,6 +163,9 @@ func run(args []string, w io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit diagnostics (including suppressed ones) as JSON")
 	showSuppressed := fs.Bool("show-suppressed", false, "also print suppressed diagnostics with their justifications")
 	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	baseline := fs.String("baseline", "", "fail only on findings not present in this baseline file")
+	writeBaselineTo := fs.String("write-baseline", "", "write the sorted unsuppressed-finding snapshot to this file and exit")
+	audit := fs.Bool("suppression-audit", false, "list every //bitlint: suppression with its justification; fail on empty reasons")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,15 +192,47 @@ func run(args []string, w io.Writer) error {
 	}
 	sort.Strings(pkgPaths)
 
-	unsuppressed := 0
-	for _, d := range diags {
-		if !d.Suppressed {
-			unsuppressed++
+	if *audit {
+		return suppressionAudit(w, diags)
+	}
+	if *writeBaselineTo != "" {
+		n, err := writeBaseline(*writeBaselineTo, diags)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "bitlint: wrote %d finding(s) to %s\n", n, *writeBaselineTo)
+		return nil
+	}
+
+	known := map[string]bool{}
+	if *baseline != "" {
+		if known, err = readBaseline(*baseline); err != nil {
+			return err
 		}
 	}
 
+	unsuppressed, baselined := 0, 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if known[baselineKey(d)] {
+			baselined++
+			continue
+		}
+		unsuppressed++
+	}
+
 	if *jsonOut {
-		rep := jsonReport{Packages: pkgPaths, Diagnostics: []jsonDiag{}, Unsuppressed: unsuppressed}
+		rep := jsonReport{
+			Tool:         jsonTool{Name: "bitlint", Version: "2", Rules: []jsonRule{}},
+			Packages:     pkgPaths,
+			Diagnostics:  []jsonDiag{},
+			Unsuppressed: unsuppressed,
+		}
+		for _, a := range analyzers {
+			rep.Tool.Rules = append(rep.Tool.Rules, jsonRule{ID: a.Name, Doc: a.Doc})
+		}
 		for _, d := range diags {
 			rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
 				File:       d.Pos.Filename,
@@ -111,9 +254,13 @@ func run(args []string, w io.Writer) error {
 			if d.Suppressed && !*showSuppressed {
 				continue
 			}
-			if d.Suppressed {
+			switch {
+			case d.Suppressed:
 				fmt.Fprintf(w, "%s: suppressed [%s]: %s (%s)\n", d.Pos, d.Reason, d.Message, d.Analyzer)
-			} else {
+			case known[baselineKey(d)]:
+				// Baselined findings are known debt; the baseline file is
+				// the ledger, so CI output stays signal-only.
+			default:
 				fmt.Fprintln(w, d)
 			}
 		}
@@ -123,8 +270,18 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("%w: %d finding(s) across %d package(s)", errViolations, unsuppressed, len(pkgs))
 	}
 	if !*jsonOut {
-		fmt.Fprintf(w, "bitlint: %d package(s) clean (%d suppressed justification(s))\n",
-			len(pkgs), len(diags)-unsuppressed)
+		suffix := ""
+		if baselined > 0 {
+			suffix = fmt.Sprintf(", %d baselined finding(s)", baselined)
+		}
+		suppressedCount := 0
+		for _, d := range diags {
+			if d.Suppressed {
+				suppressedCount++
+			}
+		}
+		fmt.Fprintf(w, "bitlint: %d package(s) clean (%d suppressed justification(s)%s)\n",
+			len(pkgs), suppressedCount, suffix)
 	}
 	return nil
 }

@@ -170,6 +170,18 @@ func (p *Pass) ReportOrSuppress(pos token.Pos, directiveName, format string, arg
 // experiments compare across runs, and the sweep fabric, whose shard
 // assignment and merge must replay byte-identically (lease clocks are
 // threaded in as explicit time.Time arguments, never read ambiently).
+//
+// Membership audit (bitlint v2): fabric IS listed — its Assign/merge
+// path is part of the byte-identity proof and board.go already threads
+// every clock explicitly, so detrand/taintdet hold with zero
+// suppressions there. sweep and serve are deliberately NOT listed:
+// sweep's lease arbitration and serve's HTTP coordinator legitimately
+// own wall-clock policy (lease expiry, retry backoff, heartbeats) via
+// injected clocks, so a package-wide ambient-call ban would be a
+// suppression farm. Their determinism obligations are instead carried
+// value-wise by taintdet (nondeterminism must not reach journals,
+// intent logs, result caches, or wire payloads) and structurally by
+// ctxloop/errsink.
 var deterministicPkgs = []string{
 	"internal/engine",
 	"internal/protocol",
@@ -193,9 +205,15 @@ func IsDeterministicPkg(path string) bool {
 	return false
 }
 
-// All returns the full bitlint suite in stable order.
+// All returns the full bitlint suite in stable order: the five local
+// analyzers from v1 (detrand, maporder, floatcmp, probrange,
+// validatefirst) plus the four whole-program contract analyzers of v2
+// (taintdet, ctxloop, errsink, atomicmix).
 func All() []*Analyzer {
-	as := []*Analyzer{DetRand, MapOrder, FloatCmp, ProbRange, ValidateFirst}
+	as := []*Analyzer{
+		DetRand, MapOrder, FloatCmp, ProbRange, ValidateFirst,
+		TaintDet, CtxLoop, ErrSink, AtomicMix,
+	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
 }

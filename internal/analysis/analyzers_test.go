@@ -32,10 +32,31 @@ func TestValidateFirstFixtures(t *testing.T) {
 	RunFixture(t, ValidateFirst, "validatefirst.example/pkg/other")
 }
 
+func TestTaintDetFixtures(t *testing.T) {
+	RunFixture(t, TaintDet, "taintdet.example/internal/sim")
+	RunFixture(t, TaintDet, "taintdet.example/internal/fabric")
+	RunFixture(t, TaintDet, "taintdet.example/internal/serve")
+	RunFixture(t, TaintDet, "taintdet.example/internal/engine")
+}
+
+func TestCtxLoopFixtures(t *testing.T) {
+	RunFixture(t, CtxLoop, "ctxloop.example/internal/serve")
+	RunFixture(t, CtxLoop, "ctxloop.example/pkg/other")
+}
+
+func TestErrSinkFixtures(t *testing.T) {
+	RunFixture(t, ErrSink, "errsink.example/internal/sim")
+	RunFixture(t, ErrSink, "errsink.example/pkg/other")
+}
+
+func TestAtomicMixFixtures(t *testing.T) {
+	RunFixture(t, AtomicMix, "atomicmix.example/internal/engine")
+}
+
 func TestSuiteShape(t *testing.T) {
 	as := All()
-	if len(as) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(as))
+	if len(as) != 9 {
+		t.Fatalf("All() returned %d analyzers, want 9", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
@@ -47,7 +68,10 @@ func TestSuiteShape(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"detrand", "maporder", "floatcmp", "probrange", "validatefirst"} {
+	for _, want := range []string{
+		"detrand", "maporder", "floatcmp", "probrange", "validatefirst",
+		"taintdet", "ctxloop", "errsink", "atomicmix",
+	} {
 		if !seen[want] {
 			t.Errorf("suite is missing %q", want)
 		}

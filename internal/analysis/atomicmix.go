@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix catches the half-converted atomic: a variable or struct field
+// that is accessed through sync/atomic in one place (atomic.AddInt64(&x, …))
+// and read or written plainly somewhere else. The mixed pattern is a data
+// race the -race suites only catch when both sides actually interleave
+// under test; the analyzer catches it structurally. The repo's own
+// convention is typed atomics (atomic.Int64/Int32/Bool), which make the
+// mix unrepresentable — this analyzer exists to keep it that way when new
+// counters are added under deadline pressure.
+//
+// Field-sensitive, instance-insensitive: `&s.hits` passed to sync/atomic
+// marks the field `hits`, and any plain `s2.hits` access anywhere in the
+// package trips the report.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable or field accessed via sync/atomic functions in one place must not be accessed plainly " +
+		"elsewhere in the package; migrate to atomic.Int64-style typed atomics or justify with " +
+		"//bitlint:atomicmix <reason>",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) error {
+	// First pass: every `&x` (or `&s.f`) handed to a sync/atomic function
+	// marks x (or the field f) as atomically accessed; the call's source
+	// range is excluded from the plain-use scan.
+	atomicUse := map[types.Object]token.Pos{}
+	type span struct{ lo, hi token.Pos }
+	var atomicCalls []span
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			atomicCalls = append(atomicCalls, span{call.Pos(), call.End()})
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := baseObject(p, un.X); obj != nil {
+					if _, seen := atomicUse[obj]; !seen {
+						atomicUse[obj] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	inAtomicCall := func(pos token.Pos) bool {
+		for _, s := range atomicCalls {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second pass: any use of a marked object outside the atomic calls is
+	// the race. Report the first plain use per object, in source order.
+	type hit struct {
+		obj types.Object
+		pos token.Pos
+	}
+	firstPlain := map[types.Object]token.Pos{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, marked := atomicUse[obj]; !marked || inAtomicCall(id.Pos()) {
+				return true
+			}
+			if prev, seen := firstPlain[obj]; !seen || id.Pos() < prev {
+				firstPlain[obj] = id.Pos()
+			}
+			return true
+		})
+	}
+	hits := make([]hit, 0, len(firstPlain))
+	for obj, pos := range firstPlain {
+		hits = append(hits, hit{obj, pos})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, h := range hits {
+		p.ReportOrSuppress(h.pos, "atomicmix",
+			"%s is accessed via sync/atomic (at %s) but plainly here: mixed access is a data race; use a typed "+
+				"atomic (atomic.Int64 et al.) or justify with //bitlint:atomicmix <reason>",
+			h.obj.Name(), p.Fset.Position(atomicUse[h.obj]))
+	}
+	return nil
+}
+
+// baseObject resolves the variable or field object an addressable
+// expression denotes: `x` → x's object, `s.f`/`s.ptr.f` → the field f.
+func baseObject(p *Pass, x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return p.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return p.TypesInfo.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return baseObject(p, e.X)
+	}
+	return nil
+}

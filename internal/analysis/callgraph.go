@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the shared interprocedural layer of the suite: a
+// package-local call graph over the ASTs the loader already holds, plus
+// the reachability fixpoint that validatefirst pioneered in PR 4 and that
+// the whole-program analyzers (taintdet, ctxloop) now reuse. The graph is
+// deliberately package-scoped — dependency bodies are not loaded (they
+// exist only as gc export data), so cross-package contracts are expressed
+// as curated source/sink/propagation tables on the analyzers instead
+// (taint.go).
+
+// callGraph indexes one package's function and method declarations and
+// resolves calls between them.
+type callGraph struct {
+	info *types.Info
+	pkg  *types.Package
+	// decls maps each function/method object to its declaration.
+	decls map[types.Object]*ast.FuncDecl
+	// launched marks functions started on their own goroutine somewhere
+	// in the package (`go f(...)` / `go r.m(...)` on a named callee).
+	launched map[types.Object]bool
+}
+
+// newCallGraph builds the graph for the pass's package.
+func newCallGraph(p *Pass) *callGraph {
+	g := &callGraph{
+		info:     p.TypesInfo,
+		pkg:      p.Pkg,
+		decls:    make(map[types.Object]*ast.FuncDecl),
+		launched: make(map[types.Object]bool),
+	}
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		if obj := p.TypesInfo.Defs[fd.Name]; obj != nil {
+			g.decls[obj] = fd
+		}
+	})
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p.TypesInfo, gs.Call); fn != nil && fn.Pkg() == p.Pkg {
+				g.launched[fn] = true
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// callee resolves a call to its same-package declaration, or nil for
+// external, dynamic, and built-in callees.
+func (g *callGraph) callee(call *ast.CallExpr) *ast.FuncDecl {
+	fn := calleeFunc(g.info, call)
+	if fn == nil || fn.Pkg() != g.pkg {
+		return nil
+	}
+	return g.decls[fn]
+}
+
+// reaches reports whether fd's body — walking same-package calls
+// transitively — contains a node satisfying pred. Cycles are broken by
+// seen; pass a fresh map (or one pre-seeded with declarations to
+// exclude). This is the generalized form of validatefirst's "does this
+// entry point reach a Validate call" fixpoint.
+func (g *callGraph) reaches(fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool, pred func(ast.Node) bool) bool {
+	if fd == nil || fd.Body == nil || seen[fd] {
+		return false
+	}
+	seen[fd] = true
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if pred(n) {
+			found = true
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := g.callee(call); callee != nil && g.reaches(callee, seen, pred) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

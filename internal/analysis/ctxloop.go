@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the cancellation-propagation contract on the
+// concurrent service layers (internal/{serve,fabric,sim,cli}): the crash
+// and drain proofs (DESIGN §13, §14) assume no goroutine outlives its
+// context, so
+//
+//  1. every unbounded `for` loop (no condition, no range clause) in these
+//     packages must observe cancellation in its body — a receive from
+//     ctx.Done(), a ctx.Err() check, or a receive from a quit channel
+//     (chan struct{}); an unbounded loop that observes none of these is a
+//     goroutine leak the -race suites can only catch by timing out;
+//  2. a function that receives a context.Context must not sever the chain
+//     by passing context.Background() or context.TODO() to a callee —
+//     that orphans the callee's work from the caller's drain/timeout.
+//
+// The loop check is syntactic over the loop body including nested
+// function literals it launches; the severed-chain check uses the type
+// information to recognize context.Context parameters.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "unbounded for-loops in internal/{serve,fabric,sim,cli} must observe ctx.Done()/ctx.Err() or a quit " +
+		"channel; functions receiving a context.Context must not pass context.Background()/TODO() to callees; " +
+		"justify exceptions with //bitlint:ctxloop <reason>",
+	Run: runCtxLoop,
+}
+
+// ctxLoopPkgs are the concurrent layers under the contract. The
+// deterministic engines spin bounded round loops (MaxRounds) and are
+// exempt; cmd binaries own the root contexts.
+var ctxLoopPkgs = []string{
+	"internal/serve",
+	"internal/fabric",
+	"internal/sim",
+	"internal/cli",
+}
+
+func inCtxLoopScope(path string) bool {
+	for _, s := range ctxLoopPkgs {
+		if isPkgSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxLoop(p *Pass) error {
+	if !inCtxLoopScope(p.Pkg.Path()) {
+		return nil
+	}
+	eachFunc(p, func(fd *ast.FuncDecl) {
+		hasCtx := funcHasCtxParam(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ForStmt:
+				if node.Cond == nil && node.Init == nil && node.Post == nil {
+					if !observesCancellation(p, node.Body) {
+						p.ReportOrSuppress(node.Pos(), "ctxloop",
+							"unbounded for-loop in %s observes no cancellation: add a ctx.Done()/quit-channel "+
+								"case or justify with //bitlint:ctxloop <reason>",
+							fd.Name.Name)
+					}
+				}
+			case *ast.CallExpr:
+				if !hasCtx {
+					return true
+				}
+				if fn := calleeFunc(p.TypesInfo, node); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+					// A bare ctx-default (`if ctx == nil { ctx = ... }`) is
+					// assignment, not an argument, and is not flagged here:
+					// only Background/TODO handed directly to a callee severs
+					// an existing chain.
+					if isCallArgument(fd, node) {
+						p.ReportOrSuppress(node.Pos(), "ctxloop",
+							"%s receives a context.Context but passes context.%s to a callee, severing "+
+								"cancellation; propagate the caller's ctx or justify with //bitlint:ctxloop <reason>",
+							fd.Name.Name, fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// funcHasCtxParam reports whether fd declares a context.Context
+// parameter.
+func funcHasCtxParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := p.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isCallArgument reports whether call appears as an argument of another
+// call within fd (as opposed to the RHS of an assignment, the blessed
+// nil-default idiom).
+func isCallArgument(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	arg := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if arg {
+			return false
+		}
+		outer, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, a := range outer.Args {
+			if containsNode(a, call) {
+				arg = true
+				return false
+			}
+		}
+		return true
+	})
+	return arg
+}
+
+// containsNode reports whether target appears within root.
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// observesCancellation reports whether the loop body contains a
+// cancellation observation: <-ctx.Done(), ctx.Err(), or a receive from a
+// chan struct{} quit channel (select cases included).
+func observesCancellation(p *Pass, body *ast.BlockStmt) bool {
+	seen := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if seen {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && exprIsContext(p, sel.X) {
+					seen = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-quit on a struct{} channel.
+			if node.Op.String() == "<-" {
+				if tv, ok := p.TypesInfo.Types[node.X]; ok {
+					if ch, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if st, isStruct := ch.Elem().Underlying().(*types.Struct); isStruct && st.NumFields() == 0 {
+							seen = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return seen
+}
+
+// exprIsContext reports whether the expression's static type is
+// context.Context.
+func exprIsContext(p *Pass, x ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[x]
+	return ok && tv.Type != nil && isContextType(tv.Type)
+}

@@ -1,0 +1,599 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural dataflow half of the shared engine
+// (callgraph.go is the reachability half): a package-level taint fixpoint
+// that tracks which variables, struct fields, and function results can
+// carry values derived from analyzer-specified sources, and reports when
+// such a value reaches an analyzer-specified sink.
+//
+// The model is deliberately coarse where coarseness is safe and precise
+// where the repo's idioms demand it:
+//
+//   - value-level, flow-insensitive within a function, monotone across a
+//     package-wide fixpoint — loops and mutual recursion converge because
+//     facts only grow;
+//   - field-sensitive but instance-insensitive: `x.f = tainted` taints
+//     the field object f for every instance, which is the sound direction;
+//   - interprocedural inside the package via per-function summaries
+//     (results tainted unconditionally; parameter i flows to results;
+//     parameter i reaches a sink), and via the declared signature for
+//     external callees: a call with a tainted argument conservatively
+//     taints its results, because dependency bodies exist only as export
+//     data;
+//   - sanitized parameter types (the explicit-clock idiom: a time.Time or
+//     func() time.Time parameter, as in fabric.Board's `now` arguments)
+//     are hard boundaries — taint never crosses into a callee through
+//     them, in either the summary or the conservative rule. Threading a
+//     clock explicitly is exactly the sanctioned alternative to reading
+//     it ambiently, so the analysis must not punish it.
+
+// taintOrigin identifies where taint entered a value.
+type taintOrigin struct {
+	// desc names the source ("time.Now", "map iteration order", …) or is
+	// "param" for the pseudo-taint used to compute parameter summaries.
+	desc string
+	// pos is the source location (the call, the range statement).
+	pos token.Pos
+	// param is the parameter index for pseudo-taint, -1 otherwise.
+	param int
+}
+
+func (o taintOrigin) concrete() bool { return o.param < 0 }
+
+// taintSet is a set of origins keyed by identity (desc for concrete
+// origins, parameter index for pseudo-origins).
+type taintSet map[string]taintOrigin
+
+func (s taintSet) add(o taintOrigin) bool {
+	key := o.desc
+	if !o.concrete() {
+		key = paramKey(o.param)
+	}
+	if _, ok := s[key]; ok {
+		return false
+	}
+	s[key] = o
+	return true
+}
+
+func (s taintSet) union(t taintSet) bool {
+	changed := false
+	for _, o := range t {
+		if s.add(o) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func paramKey(i int) string { return "param#" + itoa(i) }
+
+// itoa avoids strconv for a hot tiny helper.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 && n > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// taintConfig parameterizes the engine with an analyzer's contract.
+type taintConfig struct {
+	// source classifies a call as a taint source, returning its
+	// description ("time.Now") when it is one.
+	source func(p *Pass, call *ast.CallExpr) (string, bool)
+	// sink classifies a call as a sink ("journal record"). Every argument
+	// is checked; the sink fires when any carries concrete taint.
+	sink func(p *Pass, call *ast.CallExpr) (string, bool)
+	// compositeSink classifies a composite literal or field write of a
+	// protected type ("engine.Result"), or "" when it is not one.
+	compositeSink func(p *Pass, t types.Type) (string, bool)
+	// sanitizedParam reports parameter types that block taint propagation
+	// into callees (the explicit-clock idiom).
+	sanitizedParam func(t types.Type) bool
+	// mapRange, when true, treats map-iteration loop variables as tainted
+	// (iteration order is per-process random).
+	mapRange bool
+}
+
+// sinkHit is one parameter-to-sink path recorded in a function summary.
+type sinkHit struct {
+	param int
+	desc  string
+}
+
+// taintFinding is one deduplicated report.
+type taintFinding struct {
+	pos    token.Pos
+	sink   string
+	origin taintOrigin
+}
+
+// taintEngine runs the fixpoint for one package.
+type taintEngine struct {
+	p   *Pass
+	cfg taintConfig
+	g   *callGraph
+
+	varTaint    map[types.Object]taintSet
+	retTaint    map[types.Object]taintSet
+	paramToRet  map[types.Object]map[int]bool
+	paramToSink map[types.Object][]sinkHit
+	findings    map[string]taintFinding
+	changed     bool
+}
+
+func newTaintEngine(p *Pass, cfg taintConfig) *taintEngine {
+	return &taintEngine{
+		p:           p,
+		cfg:         cfg,
+		g:           newCallGraph(p),
+		varTaint:    map[types.Object]taintSet{},
+		retTaint:    map[types.Object]taintSet{},
+		paramToRet:  map[types.Object]map[int]bool{},
+		paramToSink: map[types.Object][]sinkHit{},
+		findings:    map[string]taintFinding{},
+	}
+}
+
+// run iterates every function body until the summaries and variable facts
+// stop changing, then returns the deduplicated findings in source order.
+func (e *taintEngine) run() []taintFinding {
+	// Monotone facts over finite domains: the loop terminates. The
+	// iteration cap is belt and braces against an engine bug, not a
+	// semantic bound.
+	for iter := 0; iter < len(e.g.decls)+2; iter++ {
+		e.changed = false
+		eachFunc(e.p, func(fd *ast.FuncDecl) { e.analyzeFunc(fd) })
+		if !e.changed {
+			break
+		}
+	}
+	out := make([]taintFinding, 0, len(e.findings))
+	for _, f := range e.findings {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].sink < out[j].sink
+	})
+	return out
+}
+
+// funcCtx carries the per-function state of one analyzeFunc walk.
+type funcCtx struct {
+	obj    types.Object
+	params map[types.Object]int
+}
+
+// analyzeFunc runs one monotone pass over fd's body.
+func (e *taintEngine) analyzeFunc(fd *ast.FuncDecl) {
+	obj := e.p.TypesInfo.Defs[fd.Name]
+	if obj == nil || fd.Body == nil {
+		return
+	}
+	fc := &funcCtx{obj: obj, params: map[types.Object]int{}}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if po := e.p.TypesInfo.Defs[name]; po != nil {
+				// Sanitized parameter types never seed taint: they are the
+				// explicit-clock/PID entry points the contract blesses.
+				if !e.cfg.sanitizedParam(po.Type()) {
+					fc.params[po] = idx
+				}
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	e.walkStmts(fd.Body, fc)
+}
+
+// walkStmts applies the transfer rules to every statement, including
+// function-literal bodies (captured variables resolve to the same
+// objects, so closures and goroutine literals need no special casing).
+func (e *taintEngine) walkStmts(body ast.Node, fc *funcCtx) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			e.transferAssign(st, fc)
+		case *ast.RangeStmt:
+			e.transferRange(st, fc)
+		case *ast.ReturnStmt:
+			e.transferReturn(st, fc)
+		case *ast.CallExpr:
+			// Evaluate for sink/summary side effects even when the result
+			// is discarded (ExprStmt, go, defer). Descent continues so
+			// function-literal bodies in call position (goroutine
+			// literals) get their statements analyzed too; re-walking an
+			// argument is idempotent because facts are monotone sets.
+			e.exprTaint(st, fc)
+		case *ast.CompositeLit:
+			e.checkCompositeSink(st, fc)
+		}
+		return true
+	})
+}
+
+// transferAssign taints assignment targets from their sources.
+func (e *taintEngine) transferAssign(st *ast.AssignStmt, fc *funcCtx) {
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Tuple assignment from one call/index/assert: every target gets
+		// the combined taint.
+		t := e.exprTaint(st.Rhs[0], fc)
+		for _, lhs := range st.Lhs {
+			e.taintTarget(lhs, t, fc)
+		}
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i < len(st.Rhs) {
+			e.taintTarget(lhs, e.exprTaint(st.Rhs[i], fc), fc)
+		}
+	}
+}
+
+// taintTarget merges taint into the object behind an assignment target.
+func (e *taintEngine) taintTarget(lhs ast.Expr, t taintSet, fc *funcCtx) {
+	if len(t) == 0 {
+		return
+	}
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if obj := identObj(e.p.TypesInfo, x); obj != nil {
+			e.mergeVar(obj, t)
+		}
+	case *ast.SelectorExpr:
+		// Field write: taints the field object (instance-insensitive) and
+		// checks protected-struct sinks.
+		if obj := e.p.TypesInfo.Uses[x.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				if desc, isSink := e.compositeSinkOf(e.fieldOwner(x)); isSink {
+					e.reportTaint(x.Pos(), desc, t)
+				}
+			}
+			e.mergeVar(obj, t)
+		}
+	case *ast.IndexExpr:
+		// a[i] = v taints the container object, coarsely.
+		e.taintTarget(x.X, t, fc)
+	case *ast.StarExpr:
+		e.taintTarget(x.X, t, fc)
+	}
+}
+
+// fieldOwner resolves the type owning the field in sel (x.f → type of x).
+func (e *taintEngine) fieldOwner(sel *ast.SelectorExpr) types.Type {
+	if tv, ok := e.p.TypesInfo.Types[sel.X]; ok {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		return t
+	}
+	return nil
+}
+
+func (e *taintEngine) compositeSinkOf(t types.Type) (string, bool) {
+	if t == nil || e.cfg.compositeSink == nil {
+		return "", false
+	}
+	return e.cfg.compositeSink(e.p, t)
+}
+
+func (e *taintEngine) mergeVar(obj types.Object, t taintSet) {
+	// Parameter pseudo-taint is meaningful only inside its own function:
+	// struct fields and package-level variables outlive the call, so only
+	// concrete origins may flow into them (param indices from one
+	// function would otherwise masquerade as another's).
+	if v, ok := obj.(*types.Var); ok && (v.IsField() || v.Parent() == e.p.Pkg.Scope()) {
+		filtered := taintSet{}
+		for _, o := range t {
+			if o.concrete() {
+				filtered.add(o)
+			}
+		}
+		t = filtered
+		if len(t) == 0 {
+			return
+		}
+	}
+	s := e.varTaint[obj]
+	if s == nil {
+		s = taintSet{}
+		e.varTaint[obj] = s
+	}
+	if s.union(t) {
+		e.changed = true
+	}
+}
+
+// transferRange handles `for k, v := range x`: container taint propagates
+// to the loop variables, and map iteration itself is a source when the
+// config says so.
+func (e *taintEngine) transferRange(st *ast.RangeStmt, fc *funcCtx) {
+	t := taintSet{}
+	t.union(e.exprTaint(st.X, fc))
+	if e.cfg.mapRange {
+		if tv, ok := e.p.TypesInfo.Types[st.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				t.add(taintOrigin{desc: "map iteration order", pos: st.Pos(), param: -1})
+			}
+		}
+	}
+	if len(t) == 0 {
+		return
+	}
+	if st.Key != nil {
+		e.taintTarget(st.Key, t, fc)
+	}
+	if st.Value != nil {
+		e.taintTarget(st.Value, t, fc)
+	}
+}
+
+// transferReturn folds result taint into the function summary.
+func (e *taintEngine) transferReturn(st *ast.ReturnStmt, fc *funcCtx) {
+	for _, res := range st.Results {
+		for _, o := range e.exprTaint(res, fc) {
+			if o.concrete() {
+				s := e.retTaint[fc.obj]
+				if s == nil {
+					s = taintSet{}
+					e.retTaint[fc.obj] = s
+				}
+				if s.add(o) {
+					e.changed = true
+				}
+			} else {
+				m := e.paramToRet[fc.obj]
+				if m == nil {
+					m = map[int]bool{}
+					e.paramToRet[fc.obj] = m
+				}
+				if !m[o.param] {
+					m[o.param] = true
+					e.changed = true
+				}
+			}
+		}
+	}
+}
+
+// exprTaint computes the taint of an expression, walking nested calls for
+// their side effects (sink checks, summaries).
+func (e *taintEngine) exprTaint(expr ast.Expr, fc *funcCtx) taintSet {
+	t := taintSet{}
+	switch x := ast.Unparen(expr).(type) {
+	case nil:
+	case *ast.Ident:
+		if obj := identObj(e.p.TypesInfo, x); obj != nil {
+			if s := e.varTaint[obj]; s != nil {
+				t.union(s)
+			}
+			if i, ok := fc.params[obj]; ok {
+				t.add(taintOrigin{desc: "param", pos: x.Pos(), param: i})
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := e.p.TypesInfo.Uses[x.Sel]; obj != nil {
+			if s := e.varTaint[obj]; s != nil {
+				t.union(s)
+			}
+		}
+		// Owner taint propagates to the selection (tainted struct, tainted
+		// field view) — but not through package qualifiers.
+		if _, isPkg := e.p.TypesInfo.Uses[firstIdent(x.X)].(*types.PkgName); !isPkg {
+			t.union(e.exprTaint(x.X, fc))
+		}
+	case *ast.CallExpr:
+		return e.callTaint(x, fc)
+	case *ast.BinaryExpr:
+		t.union(e.exprTaint(x.X, fc))
+		t.union(e.exprTaint(x.Y, fc))
+	case *ast.UnaryExpr:
+		t.union(e.exprTaint(x.X, fc))
+	case *ast.StarExpr:
+		t.union(e.exprTaint(x.X, fc))
+	case *ast.IndexExpr:
+		t.union(e.exprTaint(x.X, fc))
+	case *ast.SliceExpr:
+		t.union(e.exprTaint(x.X, fc))
+	case *ast.TypeAssertExpr:
+		t.union(e.exprTaint(x.X, fc))
+	case *ast.CompositeLit:
+		e.checkCompositeSink(x, fc)
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t.union(e.exprTaint(kv.Value, fc))
+			} else {
+				t.union(e.exprTaint(elt, fc))
+			}
+		}
+	}
+	return t
+}
+
+// firstIdent returns the leftmost identifier of a selector chain, or nil.
+func firstIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			x = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// callTaint applies the call transfer rule: sources create taint, sinks
+// consume it, summaries and the conservative external rule propagate it.
+func (e *taintEngine) callTaint(call *ast.CallExpr, fc *funcCtx) taintSet {
+	// Argument taint first (also walks nested calls).
+	argT := make([]taintSet, len(call.Args))
+	for i, a := range call.Args {
+		argT[i] = e.exprTaint(a, fc)
+	}
+	var recvT taintSet
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isPkg := e.p.TypesInfo.Uses[firstIdent(sel.X)].(*types.PkgName); !isPkg {
+			recvT = e.exprTaint(sel.X, fc)
+		}
+	}
+
+	t := taintSet{}
+	if desc, ok := e.cfg.source(e.p, call); ok {
+		t.add(taintOrigin{desc: desc, pos: call.Pos(), param: -1})
+		return t
+	}
+
+	fn := calleeFunc(e.p.TypesInfo, call)
+
+	// Sink check: any argument carrying concrete taint fires; pseudo
+	// (parameter) taint records a summary entry instead.
+	if desc, ok := e.cfg.sink(e.p, call); ok {
+		for _, at := range argT {
+			e.reportOrSummarize(call.Pos(), desc, at, fc)
+		}
+		// A sink call's own result (usually error) is not tainted.
+		return t
+	}
+
+	sanitized := func(i int) bool {
+		if fn == nil {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		pi := i
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1 // variadic tail
+		}
+		return pi >= 0 && e.cfg.sanitizedParam(sig.Params().At(pi).Type())
+	}
+
+	if fn != nil && fn.Pkg() == e.p.Pkg {
+		// Same-package callee: use the computed summaries.
+		if s := e.retTaint[types.Object(fn)]; s != nil {
+			t.union(s)
+		}
+		flows := e.paramToRet[types.Object(fn)]
+		for i, at := range argT {
+			if sanitized(i) {
+				continue
+			}
+			if flows[i] {
+				t.union(at)
+			}
+			for _, hit := range e.paramToSink[types.Object(fn)] {
+				if hit.param == i {
+					e.reportOrSummarize(call.Pos(), hit.desc, at, fc)
+				}
+			}
+		}
+		return t
+	}
+
+	// External or dynamic callee: conservative propagation — any tainted
+	// argument (except through sanitized parameter types) or receiver
+	// taints the results. This is what carries time.Now().Unix() through
+	// fmt.Sprintf and friends.
+	for i, at := range argT {
+		if !sanitized(i) {
+			t.union(at)
+		}
+	}
+	t.union(recvT)
+	return t
+}
+
+// reportOrSummarize reports concrete taint reaching a sink, and records
+// parameter taint as a summary so call sites report instead.
+func (e *taintEngine) reportOrSummarize(pos token.Pos, sinkDesc string, t taintSet, fc *funcCtx) {
+	for _, o := range t {
+		if o.concrete() {
+			e.report(pos, sinkDesc, o)
+			continue
+		}
+		hits := e.paramToSink[fc.obj]
+		dup := false
+		for _, h := range hits {
+			if h.param == o.param && h.desc == sinkDesc {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.paramToSink[fc.obj] = append(hits, sinkHit{param: o.param, desc: sinkDesc})
+			e.changed = true
+		}
+	}
+}
+
+func (e *taintEngine) reportTaint(pos token.Pos, sinkDesc string, t taintSet) {
+	for _, o := range t {
+		if o.concrete() {
+			e.report(pos, sinkDesc, o)
+		}
+	}
+}
+
+func (e *taintEngine) report(pos token.Pos, sinkDesc string, o taintOrigin) {
+	key := e.p.Fset.Position(pos).String() + "|" + sinkDesc + "|" + o.desc
+	if _, ok := e.findings[key]; !ok {
+		e.findings[key] = taintFinding{pos: pos, sink: sinkDesc, origin: o}
+	}
+}
+
+// checkCompositeSink fires when a protected composite literal (an
+// engine.Result, a journal entry) contains a tainted element.
+func (e *taintEngine) checkCompositeSink(lit *ast.CompositeLit, fc *funcCtx) {
+	tv, ok := e.p.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	desc, isSink := e.compositeSinkOf(tv.Type)
+	if !isSink {
+		return
+	}
+	for _, elt := range lit.Elts {
+		v := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		e.reportOrSummarize(lit.Pos(), desc, e.exprTaint(v, fc), fc)
+	}
+}
+
+// identObj resolves an identifier to its variable object (uses or defs).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

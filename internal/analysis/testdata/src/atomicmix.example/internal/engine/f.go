@@ -1,0 +1,40 @@
+// Fixture: mixed atomic/plain access to the same variable or field.
+package engine
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func read(c *counters) int64 {
+	return c.hits // want "hits is accessed via sync/atomic"
+}
+
+func allAtomic(c *counters) int64 {
+	atomic.AddInt64(&c.misses, 1)
+	return atomic.LoadInt64(&c.misses)
+}
+
+var typed atomic.Int64
+
+func typedUse() int64 {
+	typed.Add(1)
+	return typed.Load()
+}
+
+var legacy int64
+
+func legacyBump() {
+	atomic.AddInt64(&legacy, 1)
+}
+
+func legacyPeek() int64 {
+	//bitlint:atomicmix startup-only read before any goroutine launches
+	return legacy
+}

@@ -1,0 +1,69 @@
+// Fixture: the cancellation-propagation contract in the service layer.
+package serve
+
+import "context"
+
+func busyLoop(work chan int) {
+	for { // want "unbounded for-loop in busyLoop observes no cancellation"
+		<-work
+	}
+}
+
+func ctxLoop(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-work:
+		}
+	}
+}
+
+func quitLoop(quit chan struct{}, work chan int) {
+	for {
+		select {
+		case <-quit:
+			return
+		case <-work:
+		}
+	}
+}
+
+func errLoop(ctx context.Context, step func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+func bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func sever(ctx context.Context) {
+	helper(context.Background()) // want "sever receives a context.Context but passes context.Background"
+}
+
+func nilDefault(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	helper(ctx)
+}
+
+func helper(ctx context.Context) {}
+
+func suppressedLoop(work chan int) {
+	//bitlint:ctxloop drained by closing the work channel at shutdown; no context reaches this goroutine
+	for {
+		if _, ok := <-work; !ok {
+			return
+		}
+	}
+}

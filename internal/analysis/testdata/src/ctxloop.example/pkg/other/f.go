@@ -1,0 +1,9 @@
+// Fixture: packages outside internal/{serve,fabric,sim,cli} are exempt
+// from the cancellation contract — no diagnostics expected here.
+package other
+
+func spinForever(work chan int) {
+	for {
+		<-work
+	}
+}

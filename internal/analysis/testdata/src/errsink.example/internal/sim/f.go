@@ -1,0 +1,46 @@
+// Fixture: discarded durable-path errors in the crash-safety core.
+package sim
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+type store struct{ f *os.File }
+
+func (s *store) Close() error { return s.f.Close() }
+
+func discards(w *bufio.Writer, f *os.File) {
+	w.Flush()    // want "discarded error"
+	_ = f.Sync() // want "discarded error"
+	f.Close()    // want "discarded error"
+}
+
+func useStore(s *store) {
+	s.Close() // want "discarded error"
+}
+
+func rename(a, b string) {
+	os.Rename(a, b) // want "discarded error from os.Rename"
+}
+
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+func transport(w io.Writer, b []byte) {
+	// Interface writers are the transport layer, not the durable path.
+	w.Write(b)
+}
+
+func suppressedClose(f *os.File) {
+	f.Close() //bitlint:errsink error-path cleanup; the caller already holds the open error
+}

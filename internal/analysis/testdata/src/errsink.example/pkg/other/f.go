@@ -1,0 +1,9 @@
+// Fixture: packages outside internal/{sim,serve,fabric} are exempt from
+// the durable-path error contract — no diagnostics expected here.
+package other
+
+import "os"
+
+func casualClose(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,26 @@
+// Fixture: engine.Result is a composite sink — nondeterminism must not
+// enter it by literal or by field write.
+package engine
+
+import (
+	"runtime"
+	"time"
+)
+
+// Result mirrors the real engine.Result protected type.
+type Result struct {
+	Rounds  int
+	Elapsed int64
+}
+
+func build(start time.Time) Result {
+	return Result{Rounds: 1, Elapsed: time.Since(start).Nanoseconds()} // want "time.Since flows into engine.Result"
+}
+
+func fieldWrite(r *Result) {
+	r.Rounds = runtime.NumCPU() // want "runtime.NumCPU flows into engine.Result"
+}
+
+func clean(rounds int) Result {
+	return Result{Rounds: rounds}
+}

@@ -1,0 +1,34 @@
+// Fixture: the explicit-clock idiom is accepted; the ambient read it
+// replaces is caught.
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Board mirrors the real fabric.Board idiom: every time-dependent method
+// takes an explicit now parameter instead of reading the ambient clock.
+type Board struct {
+	deadline time.Time
+	gen      uint64
+}
+
+// Lease threads its clock explicitly: time.Time parameters are sanitized
+// entry points, so nothing here is tainted even though now reaches both
+// a field and a hash fold.
+func (b *Board) Lease(now time.Time, ttl time.Duration) uint64 {
+	b.deadline = now.Add(ttl)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", now.UnixNano())
+	b.gen = h.Sum64()
+	return b.gen
+}
+
+// ambient is the violation the idiom exists to replace.
+func (b *Board) ambient() {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", time.Now().UnixNano()) // want "time.Now flows into hash input"
+	b.gen = h.Sum64()
+}

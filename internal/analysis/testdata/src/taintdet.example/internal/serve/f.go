@@ -1,0 +1,49 @@
+// Fixture: taint into the serve-layer crash-safety and wire sinks.
+package serve
+
+import (
+	"io"
+	"os"
+	"strconv"
+)
+
+type jobLog struct{ w io.Writer }
+
+func (l *jobLog) append(line string) error {
+	_, err := io.WriteString(l.w, line)
+	return err
+}
+
+type resultCache struct{ dir string }
+
+func (c *resultCache) put(id string, payload []byte) error { return nil }
+
+func writeJSON(w io.Writer, code int, v any) {}
+
+func record(l *jobLog) {
+	host, _ := os.Hostname()
+	l.append(host) // want "os.Hostname flows into intent-log record"
+}
+
+func publish(c *resultCache, payload []byte) {
+	id := strconv.Itoa(os.Getpid())
+	c.put(id, payload) // want "os.Getpid flows into result-cache publish"
+}
+
+func respond(w io.Writer, m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	writeJSON(w, 200, ks) // want "map iteration order flows into wire payload"
+}
+
+func suppressed(l *jobLog) {
+	host, _ := os.Hostname()
+	//bitlint:taintdet hostname is operator-facing lease metadata, never merged bytes
+	l.append(host)
+}
+
+func clean(l *jobLog, shard int) {
+	l.append(strconv.Itoa(shard))
+}

@@ -1,0 +1,53 @@
+// Fixture: interprocedural determinism taint into journal and hash sinks.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Journal mirrors the real sim.Journal sink shape: Record on a Journal
+// type in a package ending internal/sim is a taint sink.
+type Journal struct{ lines []string }
+
+func (j *Journal) Record(key, payload string) {
+	j.lines = append(j.lines, key+payload)
+}
+
+// direct: ambient clock straight into the record.
+func direct(j *Journal) {
+	stamp := time.Now().String()
+	j.Record("k", stamp) // want "time.Now flows into journal record"
+}
+
+// wallStamp launders the taint through a helper's return value; the
+// per-function summary carries it back to the caller.
+func wallStamp() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+func viaHelper(j *Journal) {
+	s := wallStamp()
+	j.Record("k", s) // want "time.Now flows into journal record"
+}
+
+// explicit-clock idiom: a time.Time parameter is a sanitized entry
+// point, so recording values derived from it is sanctioned.
+func explicit(j *Journal, now time.Time) {
+	j.Record("k", now.Format(time.RFC3339))
+}
+
+// pure values stay silent.
+func pure(j *Journal, seed int64) {
+	j.Record("k", fmt.Sprint(seed))
+}
+
+// hashKey: map iteration order must not feed the TaskKey-style FNV fold.
+func hashKey(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		fmt.Fprintf(h, "%s", k) // want "map iteration order flows into hash input"
+	}
+	return h.Sum64()
+}

@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 	"strings"
 )
 
@@ -14,8 +13,8 @@ import (
 // before it spawns goroutines or enters its round loop. The contract is
 // what lets the sim layer reject a bad Task once instead of panicking in
 // every replica, and what keeps Perturber hooks from ever seeing an
-// inconsistent (N, X0, Z) triple. The check walks an AST-level call graph
-// restricted to the package under analysis: an entry point is compliant
+// inconsistent (N, X0, Z) triple. The check rides the shared
+// package-local call graph (callgraph.go): an entry point is compliant
 // when some call chain reaches a function whose body calls
 // validate/Validate, and the first such call site precedes the first `go`
 // statement and the first loop in the entry's own body.
@@ -32,45 +31,10 @@ func runValidateFirst(p *Pass) error {
 		return nil
 	}
 
-	// Index every function declaration by its object so calls resolve to
-	// bodies for the transitive search.
-	decls := make(map[types.Object]*ast.FuncDecl)
-	eachFunc(p, func(fd *ast.FuncDecl) {
-		if obj := p.TypesInfo.Defs[fd.Name]; obj != nil {
-			decls[obj] = fd
-		}
-	})
-
-	// validates reports whether fd's body reaches a validate/Validate
-	// call through same-package calls; seen breaks recursion cycles.
-	var validates func(fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool
-	validates = func(fd *ast.FuncDecl, seen map[*ast.FuncDecl]bool) bool {
-		if seen[fd] {
-			return false
-		}
-		seen[fd] = true
-		ok := false
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if ok {
-				return false
-			}
-			call, isCall := n.(*ast.CallExpr)
-			if !isCall {
-				return true
-			}
-			if isValidateCall(call) {
-				ok = true
-				return false
-			}
-			if fn := calleeFunc(p.TypesInfo, call); fn != nil && fn.Pkg() == p.Pkg {
-				if callee := decls[fn]; callee != nil && validates(callee, seen) {
-					ok = true
-					return false
-				}
-			}
-			return true
-		})
-		return ok
+	g := newCallGraph(p)
+	isValidate := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isValidateCall(call)
 	}
 
 	eachFunc(p, func(fd *ast.FuncDecl) {
@@ -91,11 +55,10 @@ func runValidateFirst(p *Pass) error {
 				firstOK = call.Pos()
 				return false
 			}
-			if fn := calleeFunc(p.TypesInfo, call); fn != nil && fn.Pkg() == p.Pkg {
-				if callee := decls[fn]; callee != nil && validates(callee, map[*ast.FuncDecl]bool{fd: true}) {
-					firstOK = call.Pos()
-					return false
-				}
+			if callee := g.callee(call); callee != nil &&
+				g.reaches(callee, map[*ast.FuncDecl]bool{fd: true}, isValidate) {
+				firstOK = call.Pos()
+				return false
 			}
 			return true
 		})

@@ -54,11 +54,11 @@ func (c *resultCache) put(id string, payload []byte) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
+		tmp.Close() //bitlint:errsink error-path cleanup; the write error is returned and the deferred Remove discards the temp file
 		return fmt.Errorf("serve: cache write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //bitlint:errsink error-path cleanup; the sync error is returned and the deferred Remove discards the temp file
 		return fmt.Errorf("serve: cache sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

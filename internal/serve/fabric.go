@@ -144,14 +144,35 @@ func (f *fabricState) complete(leaseID string, data []byte) (partIdx int, duplic
 	}
 	f.shards[part] = data
 	if f.dir != "" {
-		tmp := f.shardPath(part) + ".tmp"
-		if werr := os.WriteFile(tmp, data, 0o644); werr != nil {
-			f.logf("serve: fabric: persisting shard %d: %v", part, werr)
-		} else if rerr := os.Rename(tmp, f.shardPath(part)); rerr != nil {
-			f.logf("serve: fabric: persisting shard %d: %v", part, rerr)
+		if perr := f.persistShard(part, data); perr != nil {
+			f.logf("serve: fabric: persisting shard %d: %v", part, perr)
 		}
 	}
 	return part, false, nil
+}
+
+// persistShard publishes a shard's bytes with the same
+// write-sync-close-rename ordering as resultCache.put: without the Sync
+// before the Rename, a crash between the two could leave the final name
+// pointing at torn bytes that a restart would replay as a done partition.
+func (f *fabricState) persistShard(part int, data []byte) error {
+	tmp, err := os.CreateTemp(f.dir, fmt.Sprintf("shard-%d.tmp*", part))
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() //bitlint:errsink error-path cleanup; the write error is returned and the deferred Remove discards the temp file
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //bitlint:errsink error-path cleanup; the sync error is returned and the deferred Remove discards the temp file
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), f.shardPath(part))
 }
 
 // merged renders the canonical merged journal, or an error while shards

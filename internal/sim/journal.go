@@ -140,24 +140,24 @@ func OpenJournalOpts(path string, opts JournalOptions) (*Journal, error) {
 		return nil, fmt.Errorf("sim: open journal: %w", err)
 	}
 	if err := lockJournal(f, path); err != nil {
-		f.Close()
+		f.Close() //bitlint:errsink error-path cleanup; the lock error is the one the caller needs and no bytes were written
 		return nil, err
 	}
 	if opts.Resume {
 		valid, err := j.load(path, opts.Logf)
 		if err != nil {
-			f.Close()
+			f.Close() //bitlint:errsink error-path cleanup; the replay error is the one the caller needs and no bytes were written
 			return nil, err
 		}
 		// Cut a torn final line off the file, not just the replay: the
 		// handle appends, and bytes after a torn fragment would otherwise
 		// turn it into mid-file corruption no later reader tolerates.
 		if err := f.Truncate(valid); err != nil {
-			f.Close()
+			f.Close() //bitlint:errsink error-path cleanup; the truncate error is the one the caller needs
 			return nil, fmt.Errorf("sim: trim torn journal tail: %w", err)
 		}
 	} else if err := f.Truncate(0); err != nil {
-		f.Close()
+		f.Close() //bitlint:errsink error-path cleanup; the truncate error is the one the caller needs
 		return nil, fmt.Errorf("sim: truncate journal: %w", err)
 	}
 	j.f = f
