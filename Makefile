@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test verify vet-race race-packed obs-race serve-race fabric-race lint lint-fixtures lint-audit lint-baseline ci bench bench-engines bench-agents bench-packed-scale bench-fabric-scale fuzz-fault bench-smoke
+.PHONY: build test verify vet-race race-packed obs-race serve-race fabric-race vm-race lint lint-fixtures lint-audit lint-baseline ci bench bench-engines bench-agents bench-packed-scale bench-fabric-scale fuzz-fault fuzz-vm bench-smoke
 
 build:
 	$(GO) build ./...
@@ -86,17 +86,31 @@ lint-audit:
 lint-baseline:
 	$(GO) run ./cmd/bitlint -write-baseline lint-baseline.txt ./...
 
+# Protocol VM and evolutionary search under the race detector: the
+# registry in internal/serve shares compiled programs across request
+# goroutines, and evolve's evaluator fans simulation batches out over
+# sim workers — both must hold under -race alongside the VM itself.
+vm-race:
+	$(GO) test -race ./internal/vm/ ./internal/evolve/ ./cmd/bitevolve/
+
 # Fuzz smoke: every schedule the validator accepts must uphold the
 # Perturber contracts (counts in range, source slot untouched).
 fuzz-fault:
 	$(GO) test -fuzz=FuzzSchedule -fuzztime=10s -run '^$$' ./internal/fault/
+
+# Fuzz smoke for the bytecode VM: compiled builtins must agree with their
+# float references on every (ell, seed) draw, and arbitrary bytes must
+# never crash the validator/evaluator pair.
+fuzz-vm:
+	$(GO) test -fuzz=FuzzVMEquivalence -fuzztime=10s -run '^$$' ./internal/vm/
+	$(GO) test -fuzz=FuzzProgramTotality -fuzztime=10s -run '^$$' ./internal/vm/
 
 # Bench smoke: compile and run each agent-engine micro-benchmark once so
 # a broken benchmark body fails CI rather than the next perf run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAgents|BenchmarkAgentBody' -benchtime 1x . ./internal/engine/
 
-ci: verify vet-race race-packed obs-race serve-race fabric-race lint lint-fixtures fuzz-fault bench-smoke
+ci: verify vet-race race-packed obs-race serve-race fabric-race vm-race lint lint-fixtures fuzz-fault fuzz-vm bench-smoke
 
 # Full experiment benchmarks (quick sizes; BITSPREAD_FULL=1 for the sizes
 # reported in EXPERIMENTS.md).

@@ -23,6 +23,7 @@ import (
 	"bitspread/internal/protocol"
 	"bitspread/internal/rng"
 	"bitspread/internal/trace"
+	"bitspread/internal/vm"
 )
 
 func main() {
@@ -38,27 +39,28 @@ func run(args []string, w io.Writer) (err error) {
 	prof.Register(fs)
 	var (
 		metricsPath = fs.String("metrics", "", `write a Prometheus-style metrics snapshot at exit ("-": stdout; standard mode only)`)
-		ruleName  = fs.String("rule", "voter", "update rule: "+cli.RuleNames())
-		ell       = fs.Int("ell", 1, "sample size ℓ (fixed schedule)")
-		schedule  = fs.String("schedule", "fixed", "sample-size schedule: fixed, sqrtnlogn, logn, power")
-		coeff     = fs.Float64("coeff", 1, "schedule coefficient")
-		alpha     = fs.Float64("alpha", 0.5, "power-schedule exponent")
-		delta     = fs.Float64("delta", 0.1, "tilt for -rule biased / laziness for -rule lazy")
-		threshold = fs.Int("threshold", 1, "threshold for -rule follower")
-		n         = fs.Int64("n", 1024, "population size (including sources)")
-		z         = fs.Int("z", 1, "correct opinion held by the source")
-		initSpec  = fs.String("init", "worst", "initial configuration: worst, balanced, adversarial, or an explicit count")
-		mode      = fs.String("mode", "parallel", "activation model: parallel, sequential, agents, packed, chunked, aggregated")
-		shards    = fs.Int("shards", 1, "agent-engine shards (mode=agents/packed/chunked; deterministic per seed+shards)")
-		unpacked  = fs.Bool("unpacked", false, "force the historical byte-per-opinion agent engine (mode=agents)")
-		rounds    = fs.Int64("rounds", 0, "round cap (0: default O(n log n))")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		every     = fs.Int64("trace", 0, "print the one-count every k rounds (0: off)")
-		plot      = fs.Bool("plot", false, "print a terminal plot of the trajectory")
-		noise     = fs.Float64("noise", 0, "post-decision flip probability (failure injection)")
-		sources1  = fs.Int64("sources1", 0, "stubborn 1-sources (conflict mode when >0 together with -sources0)")
-		sources0  = fs.Int64("sources0", 0, "stubborn 0-sources (conflict mode)")
-		topology  = fs.String("topology", "", "restrict sampling to a graph: ring, ring4, torus, star, gnp (empty: the paper's complete graph)")
+		ruleName    = fs.String("rule", "voter", "update rule: "+cli.RuleNames())
+		vmPath      = fs.String("vm", "", "run a bytecode rule instead of -rule: path to a .bsvm program or assembly text (see bitevolve -out)")
+		ell         = fs.Int("ell", 1, "sample size ℓ (fixed schedule)")
+		schedule    = fs.String("schedule", "fixed", "sample-size schedule: fixed, sqrtnlogn, logn, power")
+		coeff       = fs.Float64("coeff", 1, "schedule coefficient")
+		alpha       = fs.Float64("alpha", 0.5, "power-schedule exponent")
+		delta       = fs.Float64("delta", 0.1, "tilt for -rule biased / laziness for -rule lazy")
+		threshold   = fs.Int("threshold", 1, "threshold for -rule follower")
+		n           = fs.Int64("n", 1024, "population size (including sources)")
+		z           = fs.Int("z", 1, "correct opinion held by the source")
+		initSpec    = fs.String("init", "worst", "initial configuration: worst, balanced, adversarial, or an explicit count")
+		mode        = fs.String("mode", "parallel", "activation model: parallel, sequential, agents, packed, chunked, aggregated")
+		shards      = fs.Int("shards", 1, "agent-engine shards (mode=agents/packed/chunked; deterministic per seed+shards)")
+		unpacked    = fs.Bool("unpacked", false, "force the historical byte-per-opinion agent engine (mode=agents)")
+		rounds      = fs.Int64("rounds", 0, "round cap (0: default O(n log n))")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		every       = fs.Int64("trace", 0, "print the one-count every k rounds (0: off)")
+		plot        = fs.Bool("plot", false, "print a terminal plot of the trajectory")
+		noise       = fs.Float64("noise", 0, "post-decision flip probability (failure injection)")
+		sources1    = fs.Int64("sources1", 0, "stubborn 1-sources (conflict mode when >0 together with -sources0)")
+		sources0    = fs.Int64("sources0", 0, "stubborn 0-sources (conflict mode)")
+		topology    = fs.String("topology", "", "restrict sampling to a graph: ring, ring4, torus, star, gnp (empty: the paper's complete graph)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +78,19 @@ func run(args []string, w io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	rule, err := cli.BuildRule(*ruleName, sched.Of(*n), *delta, *threshold)
-	if err != nil {
-		return err
+	var rule *protocol.Rule
+	if *vmPath != "" {
+		var prog *vm.Program
+		rule, prog, err = cli.LoadVMRule(*vmPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "vm rule %s (address %s, ell=%d)\n", prog.Name, prog.Address(), prog.Ell)
+	} else {
+		rule, err = cli.BuildRule(*ruleName, sched.Of(*n), *delta, *threshold)
+		if err != nil {
+			return err
+		}
 	}
 	if *noise > 0 {
 		rule = protocol.WithNoise(rule, *noise)

@@ -19,14 +19,26 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/result canonical result payload (done jobs)
 //	GET    /v1/jobs/{id}/events live NDJSON round/replica event stream
+//	POST   /v1/protocols        register user bytecode (201, or 200 if known)
+//	GET    /v1/protocols        list registered protocols
+//	GET    /v1/protocols/{id}   one protocol with canonical disassembly
 //	GET    /healthz, /readyz    liveness / readiness
 //	GET    /metrics             Prometheus-style exposition
+//
+// User-defined decision rules arrive as gas-metered stack bytecode
+// (internal/vm): POST /v1/protocols validates, classifies (environment
+// models violating Proposition 3 are rejected with 422), and persists
+// the program under its content address; jobs then reference it as
+// "rule": "vm:<id>". Registered protocols survive restarts and replay
+// before the job log, so recovered jobs resolve their bytecode.
 //
 // Examples:
 //
 //	bitspreadd -addr 127.0.0.1:8642 -data /var/lib/bitspreadd
 //	curl -s localhost:8642/v1/jobs -d '{"n":4096,"z":1,"rule":"voter","replicas":100,"seed":7}'
 //	curl -s localhost:8642/v1/jobs/<id>/result | jq .success_rate
+//	curl -s localhost:8642/v1/protocols -d '{"asm":"name myrule\nell 2\nfrac\nhalt\n"}'
+//	curl -s localhost:8642/v1/jobs -d '{"n":4096,"z":1,"rule":"vm:<id>","replicas":100,"seed":7}'
 //
 // With -fabric-exp the daemon additionally coordinates a distributed
 // sweep (internal/fabric): it leases deterministic partitions of the

@@ -191,6 +191,11 @@ var deterministicPkgs = []string{
 	"internal/bias",
 	"internal/markov",
 	"internal/fabric",
+	// vm and evolve joined with the bytecode engine: Eval must be a pure
+	// function of (program, k, b) for content-addressed protocol identity,
+	// and the evolutionary search replays byte-identically from its seed.
+	"internal/vm",
+	"internal/evolve",
 }
 
 // IsDeterministicPkg reports whether the import path belongs to the

@@ -11,6 +11,8 @@ func TestDetRandFixtures(t *testing.T) {
 	RunFixture(t, DetRand, "detrand.example/internal/engine")
 	RunFixture(t, DetRand, "detrand.example/internal/sim")
 	RunFixture(t, DetRand, "detrand.example/internal/fabric")
+	RunFixture(t, DetRand, "detrand.example/internal/vm")
+	RunFixture(t, DetRand, "detrand.example/internal/evolve")
 	RunFixture(t, DetRand, "detrand.example/cmd/tool")
 }
 
@@ -37,6 +39,7 @@ func TestTaintDetFixtures(t *testing.T) {
 	RunFixture(t, TaintDet, "taintdet.example/internal/fabric")
 	RunFixture(t, TaintDet, "taintdet.example/internal/serve")
 	RunFixture(t, TaintDet, "taintdet.example/internal/engine")
+	RunFixture(t, TaintDet, "taintdet.example/internal/vm")
 }
 
 func TestCtxLoopFixtures(t *testing.T) {

@@ -1,0 +1,16 @@
+// Fixture: the evolutionary search must replay byte-identically from its
+// seed — mutation and tournament draws come from the repo RNG, never the
+// ambient generator, and generations are counted, not timed.
+package evolve
+
+import (
+	"math/rand" // want `import of "math/rand" in deterministic package`
+	"time"
+)
+
+func mutateBudget(start time.Time) bool {
+	if rand.Float64() < 0.5 {
+		return false
+	}
+	return time.Since(start) < time.Second // want "time.Since in deterministic package"
+}

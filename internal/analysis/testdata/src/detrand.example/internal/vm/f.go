@@ -1,0 +1,15 @@
+// Fixture: the bytecode VM is deterministic core — evaluation is a pure
+// function of (program, k, b), so ambient randomness and clock reads are
+// banned outright.
+package vm
+
+import (
+	"math/rand" // want `import of "math/rand" in deterministic package`
+	"time"
+)
+
+func jitterGas() int64 {
+	deadline := time.Now() // want "time.Now in deterministic package"
+	_ = deadline
+	return 4096 + rand.Int63n(16)
+}

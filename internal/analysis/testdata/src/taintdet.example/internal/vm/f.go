@@ -1,0 +1,37 @@
+// Fixture: vm.Program.Address content-addresses bytecode through FNV; a
+// tainted hash input would give the same program different identities on
+// different runs, splitting the protocol registry.
+package vm
+
+import (
+	"hash/fnv"
+	"os"
+	"strconv"
+	"time"
+)
+
+func address(code []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(code)
+	stamp := time.Now().UnixNano()
+	h.Write([]byte(strconv.FormatInt(stamp, 10))) // want "time.Now flows into hash input"
+	return h.Sum64()
+}
+
+func hostSalt() string {
+	host, _ := os.Hostname()
+	return host
+}
+
+func saltedAddress(code []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(hostSalt())) // want "os.Hostname flows into hash input"
+	h.Write(code)
+	return h.Sum64()
+}
+
+func clean(code []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(code)
+	return h.Sum64()
+}

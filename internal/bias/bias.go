@@ -196,6 +196,29 @@ func (a *Analysis) IntervalNearOne() (lo, hi float64, sign int, ok bool) {
 	return 0, 0, 0, false
 }
 
+// MaxAbsDrift returns max |F(p)| over a uniform grid of samples+1 points
+// in [0, 1]. It is a cheap scalar summary of how far a rule sits from the
+// Voter-class F ≡ 0 regime — the evolutionary search uses it as a fitness
+// pre-filter: a rule with large worst-case drift is provably slow by
+// Theorem 12, so simulation can be skipped entirely. samples below 2 is
+// treated as 2.
+func (a *Analysis) MaxAbsDrift(samples int) float64 {
+	if a.IsZero() {
+		return 0
+	}
+	if samples < 2 {
+		samples = 2
+	}
+	maxAbs := 0.0
+	for i := 0; i <= samples; i++ {
+		v := math.Abs(a.f.Eval(float64(i) / float64(samples)))
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	return maxAbs
+}
+
 // ExpectedNext returns the Proposition 5 drift prediction
 // x + n·F(x/n) for population n and count x. The true conditional
 // expectation lies within ±1 of this value (Eqs. 5–6).

@@ -3,15 +3,18 @@
 package cli
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"strings"
 
 	"bitspread/internal/protocol"
+	"bitspread/internal/vm"
 )
 
 // RuleNames lists the rule spec names understood by BuildRule.
 func RuleNames() string {
-	return "voter, minority, majority, 3majority, 2choice, antivoter, biased, lazy, follower"
+	return "voter, minority, majority, 3majority, 2choice, antivoter, biased, lazy, follower, constant"
 }
 
 // BuildRule constructs a rule from its CLI specification. delta is used by
@@ -39,9 +42,39 @@ func BuildRule(name string, ell int, delta float64, threshold int) (*protocol.Ru
 			return nil, fmt.Errorf("cli: follower threshold %d outside [1, %d]", threshold, ell)
 		}
 		return protocol.Follower(ell, threshold), nil
+	case "constant":
+		// Environment-class on purpose (violates Proposition 3): the
+		// sample-oblivious baseline for failure-injection experiments.
+		return protocol.Constant(ell, delta), nil
 	default:
 		return nil, fmt.Errorf("cli: unknown rule %q (want one of: %s)", name, RuleNames())
 	}
+}
+
+// LoadVMRule reads a bytecode program from path — either the canonical
+// binary .bsvm container or assembly text, sniffed by magic — and
+// materializes it as a rule under the default evaluation limits. The
+// returned rule keeps its protocol/environment classification, so
+// callers that admit only protocols can still gate on rule.Validate().
+func LoadVMRule(path string) (*protocol.Rule, *vm.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cli: reading vm program: %w", err)
+	}
+	var prog *vm.Program
+	if bytes.HasPrefix(data, []byte("BSVM")) {
+		prog, err = vm.Decode(data)
+	} else {
+		prog, err = vm.Assemble(string(data))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("cli: loading vm program %s: %w", path, err)
+	}
+	rule, err := prog.Materialize(vm.EvalLimits{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cli: materializing vm program %s: %w", path, err)
+	}
+	return rule, prog, nil
 }
 
 // BuildSchedule constructs a sample-size schedule from its CLI spec:

@@ -38,7 +38,16 @@ func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
 // Next draws the wait for the next attempt and advances the schedule.
 func (b *Backoff) Next() time.Duration {
 	d := b.Base
-	for i := 0; i < b.attempt && d < b.Max; i++ {
+	// Saturate at Max before doubling can overflow: d ≥ Max/2 means the
+	// next doubling reaches or passes Max, so jump straight there. The
+	// old `d < Max` guard was not enough — with a large Max the doubling
+	// itself wrapped int64 negative around attempt 63 and the schedule
+	// returned negative waits.
+	for i := 0; i < b.attempt; i++ {
+		if d >= b.Max/2 {
+			d = b.Max
+			break
+		}
 		d *= 2
 	}
 	if d > b.Max {

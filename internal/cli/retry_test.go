@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 	"time"
 )
@@ -150,5 +151,27 @@ func TestRetryAfterAndPermanentUnwrap(t *testing.T) {
 	}
 	if Permanent(nil) != nil || RetryAfter(nil, time.Second) != nil {
 		t.Fatal("wrapping nil must stay nil")
+	}
+}
+
+func TestBackoffDeepAttemptsStayPositive(t *testing.T) {
+	// Regression: with a large Max the doubling loop used to overflow
+	// int64 around attempt 63 and return negative waits. Attempt 64 (and
+	// far beyond) must yield a positive, capped, jittered delay.
+	max := time.Duration(math.MaxInt64)
+	b := NewBackoff(time.Millisecond, max, 3)
+	var d time.Duration
+	for i := 0; i < 80; i++ {
+		d = b.Next()
+		if d <= 0 {
+			t.Fatalf("attempt %d: wait %v, want positive", i, d)
+		}
+		if d > max {
+			t.Fatalf("attempt %d: wait %v exceeds Max", i, d)
+		}
+	}
+	// Deep attempts saturate at the capped jitter band [Max/2, Max).
+	if d < max/2 {
+		t.Fatalf("attempt 80: wait %v below the saturated band [%v, %v)", d, max/2, max)
 	}
 }

@@ -1,0 +1,149 @@
+package evolve
+
+import (
+	"errors"
+	"testing"
+
+	"bitspread/internal/bias"
+	"bitspread/internal/protocol"
+)
+
+func quickOpts(seed uint64) Options {
+	return Options{
+		Ell:         2,
+		Population:  16,
+		Generations: 16,
+		Seed:        seed,
+		SimN:        256,
+	}
+}
+
+func TestSearchIsDeterministic(t *testing.T) {
+	a, err := Search(quickOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(quickOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Program.Address() != b.Best.Program.Address() {
+		t.Fatalf("same seed, different best genome: %s vs %s",
+			a.Best.Program.Address(), b.Best.Program.Address())
+	}
+	//bitlint:floatexact identical replays must agree bit for bit
+	if a.Best.Fitness != b.Best.Fitness || a.Evaluations != b.Evaluations || a.Pruned != b.Pruned {
+		t.Fatalf("same seed, different trace: %+v vs %+v", a, b)
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		//bitlint:floatexact identical replays must agree bit for bit
+		if a.History[i].MeanFitness != b.History[i].MeanFitness ||
+			a.History[i].Best.Program.Address() != b.History[i].Best.Program.Address() {
+			t.Fatalf("generation %d diverged", i)
+		}
+	}
+	// Distinct seeds must explore differently somewhere (guards against a
+	// search that ignores its seed).
+	c, err := Search(quickOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Program.Address() == c.Best.Program.Address() && a.Evaluations == c.Evaluations && a.Pruned == c.Pruned {
+		t.Fatal("seeds 7 and 8 produced identical searches; the seed is not consumed")
+	}
+}
+
+func TestSearchReachesSimulatedVoterClassGenome(t *testing.T) {
+	out, err := Search(quickOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := out.Best
+	if !best.Simulated {
+		t.Fatalf("best genome never reached simulation: %+v", best)
+	}
+	if best.Drift > 1e-4 {
+		t.Fatalf("best drift %v above the pre-filter cutoff", best.Drift)
+	}
+	if err := best.Rule.CheckProp3(); err != nil {
+		t.Fatalf("evolved rule leaked out of the protocol class: %v", err)
+	}
+	if out.Pruned == 0 {
+		t.Fatal("the bias pre-filter never fired; random genomes should mostly be drifty")
+	}
+	// One extra evaluation is charged when the post-search polish fires.
+	if want := len(out.History) * 16; out.Evaluations != want && out.Evaluations != want+1 {
+		t.Fatalf("evaluations %d, want %d or %d", out.Evaluations, want, want+1)
+	}
+	first, last := out.History[0].Best.Fitness, out.History[len(out.History)-1].Best.Fitness
+	if last > first {
+		t.Fatalf("best fitness regressed across generations: %v -> %v", first, last)
+	}
+}
+
+func TestSearchGenomesStayPinnedToProp3(t *testing.T) {
+	out, err := Search(quickOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stat := range out.History {
+		r := stat.Best.Rule
+		if r == nil {
+			t.Fatal("best individual has no materialized rule")
+		}
+		if err := r.CheckProp3(); err != nil {
+			t.Fatalf("generation %d best violates Prop 3: %v", stat.Gen, err)
+		}
+	}
+}
+
+func TestMeasureVoterBaseline(t *testing.T) {
+	v, err := Measure(protocol.Voter(2), 256, 0, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v >= float64(2*32*256) {
+		t.Fatalf("Voter measure %v out of sane range", v)
+	}
+	if _, err := Measure(protocol.Voter(2), 256, 0, nil); !errors.Is(err, ErrOptions) {
+		t.Fatalf("Measure with no seeds: %v, want ErrOptions", err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Search(Options{Ell: 0}); !errors.Is(err, ErrOptions) {
+		t.Fatalf("ℓ=0 accepted: %v", err)
+	}
+	if _, err := Search(Options{Ell: 1, Population: 4, Elite: 4}); !errors.Is(err, ErrOptions) {
+		t.Fatalf("elite >= population accepted: %v", err)
+	}
+}
+
+func TestDriftPenaltyRanksBehindSimulation(t *testing.T) {
+	// A drifty rule (Majority-like) must be scored by the pre-filter above
+	// any simulated score.
+	opts := quickOpts(5)
+	if err := opts.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	a := bias.For(protocol.Majority(2))
+	if a.MaxAbsDrift(opts.DriftSamples) <= opts.DriftCutoff {
+		t.Skip("Majority(2) unexpectedly under the cutoff")
+	}
+	out, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	penaltyBase := 8 * float64(opts.MaxRounds) / float64(opts.SimN)
+	for _, stat := range out.History {
+		if stat.Best.Simulated && stat.Best.Fitness >= penaltyBase {
+			t.Fatalf("simulated fitness %v overlaps the penalty band %v", stat.Best.Fitness, penaltyBase)
+		}
+		if !stat.Best.Simulated && stat.Best.Fitness < penaltyBase {
+			t.Fatalf("pruned fitness %v below the penalty base %v", stat.Best.Fitness, penaltyBase)
+		}
+	}
+}

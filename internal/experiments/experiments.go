@@ -107,6 +107,7 @@ func registry() []Experiment {
 		x10Universality(),
 		x11PopulationProtocols(),
 		x12FaultRecovery(),
+		x13EvolveSearch(),
 	}
 }
 

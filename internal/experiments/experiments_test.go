@@ -39,8 +39,8 @@ func metric(t *testing.T, res *Result, key string) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registered %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registered %d experiments, want 24", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -335,5 +335,26 @@ func TestX11PopulationProtocols(t *testing.T) {
 	}
 	if v := metric(t, res, "voter_int_exponent"); v < 1.6 || v > 2.4 {
 		t.Errorf("pairwise Voter interactions ~ n^%v, want ~2", v)
+	}
+}
+
+func TestX13EvolveSearch(t *testing.T) {
+	res := runExp(t, "X13")
+	if v := metric(t, res, "max_ratio"); v > 2 {
+		t.Errorf("worst evolved/Voter time ratio %v exceeds the 2x acceptance bound", v)
+	}
+	if v := metric(t, res, "zero_drift_rules"); v < 1 {
+		t.Errorf("no evolved rule reached F≡0 exactly (%v); Voter-class rediscovery failed", v)
+	}
+	// At ℓ=1 every table entry is a pinned unanimity corner, so the genome
+	// space collapses to the Voter and nothing is ever pruned; the pre-filter
+	// only has work to do at ℓ≥2.
+	if v := metric(t, res, "pruned_frac_ell1"); v != 0 {
+		t.Errorf("ℓ=1: pruned fraction %v, want 0 (search space is the single pinned Voter genome)", v)
+	}
+	for _, ell := range []int{2, 3} {
+		if v := metric(t, res, "pruned_frac_ell"+string(rune('0'+ell))); v <= 0 || v >= 1 {
+			t.Errorf("ℓ=%d: bias pre-filter pruned fraction %v outside (0,1)", ell, v)
+		}
 	}
 }

@@ -148,6 +148,22 @@ func Follower(sampleSize, threshold int) *Rule {
 	return MustNew(fmt.Sprintf("Follower(θ=%d)", threshold), sampleSize, g, g)
 }
 
+// Constant returns the rule that adopts opinion 1 with fixed probability p
+// on every activation, ignoring both the observation and the current
+// opinion. For 0 < p < 1 it violates Proposition 3 on both ends (no
+// consensus is absorbing) — like AntiVoter it is an environment/foil rule,
+// useful as a mixing baseline and a validator test case.
+func Constant(sampleSize int, p float64) *Rule {
+	if p < 0 || p > 1 || p != p {
+		panic(fmt.Sprintf("protocol: Constant probability %v outside [0,1]", p))
+	}
+	g := make([]float64, sampleSize+1)
+	for k := range g {
+		g[k] = p
+	}
+	return MustNew(fmt.Sprintf("Constant(p=%g)", p), sampleSize, g, g)
+}
+
 // Random returns a uniformly random valid rule with the given sample
 // size: every interior table entry (for both own-opinion tables) is drawn
 // uniformly from [0, 1], with g^[0](0) = 0 and g^[1](ℓ) = 1 pinned so

@@ -35,16 +35,52 @@ var (
 	// cannot keep a consensus absorbing and therefore cannot solve
 	// bit dissemination.
 	ErrProp3 = errors.New("protocol: violates Proposition 3 (consensus is not absorbing)")
+	// ErrEnvironmentRule is returned by Validate for environment-class
+	// rules: tables that model noise or failures (e.g. WithNoise output)
+	// rather than a protocol an agent could run to solve the problem.
+	ErrEnvironmentRule = errors.New("protocol: environment-class rule cannot solve bit dissemination")
 )
+
+// Class separates the two kinds of Rule values this package constructs.
+// The distinction closes a historical leak: wrappers like WithNoise
+// deliberately produce tables violating Proposition 3 — they model the
+// *environment* (noise, failures), not a runnable protocol — yet such
+// tables passed every structural check and could reach contexts that
+// assume stabilization is possible. Every Rule is classified at
+// construction; Validate gates the protocol-only contexts.
+type Class int
+
+const (
+	// ClassProtocol marks rules satisfying Proposition 3: both consensus
+	// configurations are absorbing, so the rule is a candidate solution to
+	// the bit-dissemination problem.
+	ClassProtocol Class = iota
+	// ClassEnvironment marks rules violating Proposition 3: valid as
+	// failure-injection models, never as protocols.
+	ClassEnvironment
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassProtocol:
+		return "protocol"
+	case ClassEnvironment:
+		return "environment"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
 
 // Rule is a concrete memory-less update rule for a fixed sample size.
 // Construct instances with New or NewSymmetric; the zero value is invalid.
 // A Rule is immutable after construction and safe for concurrent use.
 type Rule struct {
-	name string
-	ell  int
-	g0   []float64 // g^[0](k): adopt-1 probability when currently holding 0
-	g1   []float64 // g^[1](k): adopt-1 probability when currently holding 1
+	name  string
+	ell   int
+	class Class
+	g0    []float64 // g^[0](k): adopt-1 probability when currently holding 0
+	g1    []float64 // g^[1](k): adopt-1 probability when currently holding 1
 }
 
 // New returns a rule with the given adopt-1 probability tables, indexed by
@@ -71,6 +107,9 @@ func New(name string, sampleSize int, g0, g1 []float64) (*Rule, error) {
 		ell:  sampleSize,
 		g0:   append([]float64(nil), g0...),
 		g1:   append([]float64(nil), g1...),
+	}
+	if r.CheckProp3() != nil {
+		r.class = ClassEnvironment
 	}
 	return r, nil
 }
@@ -145,6 +184,23 @@ func (r *Rule) CheckProp3() error {
 		return fmt.Errorf("%w: g[1](ℓ) = %v, want 1", ErrProp3, r.g1[r.ell])
 	}
 	return nil
+}
+
+// Class returns the rule's classification, fixed at construction:
+// ClassProtocol iff the tables satisfy Proposition 3.
+func (r *Rule) Class() Class { return r.class }
+
+// Validate gates protocol-only contexts (job submission, the VM
+// registry, search spaces): it returns nil for ClassProtocol rules and
+// an error wrapping both ErrEnvironmentRule and the underlying ErrProp3
+// cause otherwise. Environment-class rules remain fully usable with the
+// engines — the adversarial experiments depend on that — but anything
+// that promises stabilization must call Validate first.
+func (r *Rule) Validate() error {
+	if r.class == ClassProtocol {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrEnvironmentRule, r.CheckProp3())
 }
 
 // AdoptProb returns P_b(p) = Σ_k C(ℓ,k) p^k (1-p)^{ℓ-k} g^[b](k): the

@@ -72,9 +72,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// retryAfterSeconds renders a Retry-After header value from a duration,
-// rounding up and never below one second.
+// retryAfterSeconds renders a Retry-After header value, rounding up and
+// clamping into [1, 3600]: sub-second waits must never truncate to 0 (a
+// zero tells clients to hammer immediately), and NaN, negative, infinite
+// or absurdly large inputs — conversion of which to int is otherwise
+// platform-defined — degrade to a sane bound instead of garbage.
 func retryAfterSeconds(seconds float64) string {
+	const maxSeconds = 3600
+	if math.IsNaN(seconds) || seconds < 0 {
+		seconds = 0
+	}
+	if seconds > maxSeconds {
+		seconds = maxSeconds
+	}
 	s := int(math.Ceil(seconds))
 	if s < 1 {
 		s = 1
@@ -116,7 +126,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec.Tenant = t
 	}
 	spec.normalize()
-	task, err := spec.buildTask()
+	task, err := spec.buildTask(s.vmRule)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -11,6 +11,7 @@ import (
 
 	"bitspread/internal/cli"
 	"bitspread/internal/engine"
+	"bitspread/internal/protocol"
 	"bitspread/internal/sim"
 )
 
@@ -94,9 +95,15 @@ func parseMode(mode string) (sim.Mode, error) {
 	}
 }
 
-// buildTask compiles a normalized spec into a validated sim.Task. All
-// errors here are client errors (HTTP 400): nothing has been admitted yet.
-func (sp *JobSpec) buildTask() (sim.Task, error) {
+// ruleResolver resolves a "vm:<id>" rule reference to a registered
+// materialized rule; the Server supplies its protocol registry here.
+type ruleResolver func(ref string) (*protocol.Rule, error)
+
+// buildTask compiles a normalized spec into a validated sim.Task. The
+// resolver handles "vm:<id>" rule references (nil: such references are
+// rejected). All errors here are client errors (HTTP 400): nothing has
+// been admitted yet.
+func (sp *JobSpec) buildTask(resolve ruleResolver) (sim.Task, error) {
 	mode, err := parseMode(sp.Mode)
 	if err != nil {
 		return sim.Task{}, err
@@ -104,7 +111,15 @@ func (sp *JobSpec) buildTask() (sim.Task, error) {
 	if sp.Replicas < 1 {
 		return sim.Task{}, fmt.Errorf("serve: replicas must be >= 1, got %d", sp.Replicas)
 	}
-	rule, err := cli.BuildRule(sp.Rule, sp.Ell, sp.Delta, sp.Threshold)
+	var rule *protocol.Rule
+	if strings.HasPrefix(sp.Rule, vmRulePrefix) {
+		if resolve == nil {
+			return sim.Task{}, fmt.Errorf("serve: vm protocol references are not supported here")
+		}
+		rule, err = resolve(sp.Rule)
+	} else {
+		rule, err = cli.BuildRule(sp.Rule, sp.Ell, sp.Delta, sp.Threshold)
+	}
 	if err != nil {
 		return sim.Task{}, err
 	}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const voterAsm = "name uservoter\nell 3\nfrac\nhalt\n"
+
+// postProtocol submits a protocol spec and returns the response code and
+// decoded status (zero-valued for error bodies).
+func postProtocol(t *testing.T, ts *httptest.Server, spec ProtocolSpec) (int, ProtocolStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal protocol spec: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/protocols", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post protocol: %v", err)
+	}
+	defer resp.Body.Close()
+	var ps ProtocolStatus
+	_ = json.NewDecoder(resp.Body).Decode(&ps)
+	return resp.StatusCode, ps
+}
+
+func TestProtocolRegisterAndRunJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	code, ps := postProtocol(t, ts, ProtocolSpec{Asm: voterAsm})
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d, want 201", code)
+	}
+	if ps.ID == "" || ps.Ell != 3 || ps.Name != "uservoter" {
+		t.Fatalf("register: unexpected status %+v", ps)
+	}
+	// The materialized tables must be the Voter: g(k) = k/ℓ.
+	for k, want := range []float64{0, 1.0 / 3, 2.0 / 3, 1} {
+		//bitlint:floatexact the Q2.61 pipeline round-trips these constants exactly
+		if ps.G0[k] != want || ps.G1[k] != want {
+			t.Fatalf("register: table entry %d = (%v, %v), want %v", k, ps.G0[k], ps.G1[k], want)
+		}
+	}
+
+	// Re-registering identical bytecode is 200, same address.
+	code2, ps2 := postProtocol(t, ts, ProtocolSpec{Asm: voterAsm})
+	if code2 != http.StatusOK || ps2.ID != ps.ID {
+		t.Fatalf("re-register: status %d id %s, want 200 with id %s", code2, ps2.ID, ps.ID)
+	}
+
+	// The detail endpoint serves the canonical disassembly.
+	resp, err := http.Get(ts.URL + "/v1/protocols/" + ps.ID)
+	if err != nil {
+		t.Fatalf("get protocol: %v", err)
+	}
+	var detail ProtocolStatus
+	_ = json.NewDecoder(resp.Body).Decode(&detail)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(detail.Asm, "frac") {
+		t.Fatalf("detail: status %d asm %q", resp.StatusCode, detail.Asm)
+	}
+
+	// A job can reference the registered bytecode.
+	spec := JobSpec{Name: "vmjob", N: 64, Z: 1, Rule: "vm:" + ps.ID, Replicas: 2, Seed: 5, MaxRounds: 5000}
+	jcode, _, js := submitJSON(t, ts, spec, "")
+	if jcode != http.StatusAccepted {
+		t.Fatalf("submit vm job: status %d, want 202", jcode)
+	}
+	if done := waitTerminal(t, ts, js.ID); done.State != "done" {
+		t.Fatalf("vm job ended %q (error %q), want done", done.State, done.Error)
+	}
+}
+
+func TestProtocolRejectsEnvironmentClass(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// A constant-½ rule evaluates fine but violates Proposition 3: it is
+	// an environment model, not a protocol, and must be rejected as a
+	// semantic (422) failure, not a syntax error.
+	code, _ := postProtocol(t, ts, ProtocolSpec{Asm: "name flat\nell 1\nconst 0.5\npushc 0\nhalt\n"})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("environment-class rule: status %d, want 422", code)
+	}
+}
+
+func TestProtocolRejectsGasExhaustion(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// Structurally valid bytecode whose evaluation never halts: the gas
+	// meter must bound it and the admission must fail with 422.
+	code, _ := postProtocol(t, ts, ProtocolSpec{Asm: "ell 1\nloop:\njmp loop\n"})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("gas exhaustion: status %d, want 422", code)
+	}
+}
+
+func TestProtocolBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		spec ProtocolSpec
+	}{
+		{"bad asm", ProtocolSpec{Asm: "ell 1\nnot-an-opcode\n"}},
+		{"neither field", ProtocolSpec{}},
+		{"both fields", ProtocolSpec{Asm: voterAsm, Code: "AAAA"}},
+		{"bad base64", ProtocolSpec{Code: "!!!"}},
+		{"corrupt bytecode", ProtocolSpec{Code: "AAAAAAAA"}},
+	}
+	for _, tc := range cases {
+		if code, _ := postProtocol(t, ts, tc.spec); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+
+	// Unknown vm reference on job submission is a client error too.
+	code, _, _ := submitJSON(t, ts, JobSpec{Name: "j", N: 64, Z: 1, Rule: "vm:deadbeef", Replicas: 1, Seed: 1}, "")
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown vm reference: status %d, want 400", code)
+	}
+}
+
+func TestProtocolSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := New(Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	code, ps := postProtocol(t, ts1, ProtocolSpec{Asm: voterAsm})
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+	spec := JobSpec{Name: "vmjob", N: 64, Z: 1, Rule: "vm:" + ps.ID, Replicas: 2, Seed: 9, MaxRounds: 5000}
+	jcode, _, js := submitJSON(t, ts1, spec, "")
+	if jcode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", jcode)
+	}
+	first := waitTerminal(t, ts1, js.ID)
+	if first.State != "done" {
+		t.Fatalf("job ended %q, want done", first.State)
+	}
+	payload1 := getResult(t, ts1, js.ID)
+	ts1.Close()
+	s1.Close()
+
+	// Drop a corrupt stray into the protocol dir: reload must skip it
+	// without failing startup.
+	if err := os.WriteFile(filepath.Join(dir, "protocols", "junk.bsvm"), []byte("not a program"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	resp, err := http.Get(ts2.URL + "/v1/protocols/" + ps.ID)
+	if err != nil {
+		t.Fatalf("get after restart: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protocol lost across restart: status %d", resp.StatusCode)
+	}
+
+	// The same vm job resubmitted is a cache hit with identical bytes.
+	code2, _, js2 := submitJSON(t, ts2, spec, "")
+	if code2 != http.StatusOK || !js2.Cached {
+		t.Fatalf("resubmit after restart: status %d cached %v, want 200 cached", code2, js2.Cached)
+	}
+	if payload2 := getResult(t, ts2, js2.ID); !bytes.Equal(payload1, payload2) {
+		t.Fatal("result bytes differ across daemon restart")
+	}
+}

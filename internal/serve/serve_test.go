@@ -585,7 +585,7 @@ func TestEventStreamEndsWithJobDone(t *testing.T) {
 func TestRestartResumesJournalByteIdentical(t *testing.T) {
 	spec := JobSpec{Name: "resume", N: 256, Z: 1, Rule: "voter", Replicas: 20, Seed: 7, MaxRounds: 300}
 	spec.normalize()
-	task, err := spec.buildTask()
+	task, err := spec.buildTask(nil)
 	if err != nil {
 		t.Fatalf("buildTask: %v", err)
 	}
@@ -663,7 +663,7 @@ func TestRestartResumesJournalByteIdentical(t *testing.T) {
 func TestReplayReRunsDoneJobWithMissingCacheFile(t *testing.T) {
 	spec := testSpec(9)
 	spec.normalize()
-	task, err := spec.buildTask()
+	task, err := spec.buildTask(nil)
 	if err != nil {
 		t.Fatalf("buildTask: %v", err)
 	}

@@ -159,6 +159,7 @@ type Server struct {
 	log     *jobLog
 	cache   *resultCache
 	fabric  *fabricState
+	protos  *protoRegistry
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -192,11 +193,21 @@ func New(opts Options) (*Server, error) {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
 	var replayed []jobLogEntry
+	protoDir := ""
 	if opts.DataDir != "" {
 		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: data dir: %w", err)
 		}
-		var err error
+		protoDir = filepath.Join(opts.DataDir, "protocols")
+	}
+	// The protocol registry loads before the job log replays: a recovered
+	// job may reference "vm:<id>" bytecode from a previous daemon life.
+	var err error
+	s.protos, err = openProtoRegistry(protoDir, opts.Logf)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DataDir != "" {
 		s.log, replayed, err = openJobLog(filepath.Join(opts.DataDir, "jobs.jsonl"), opts.Logf)
 		if err != nil {
 			return nil, err
@@ -252,7 +263,7 @@ func (s *Server) replay(entries []jobLogEntry) []*job {
 			}
 			spec := *e.Spec
 			spec.normalize()
-			task, err := spec.buildTask()
+			task, err := spec.buildTask(s.vmRule)
 			if err != nil {
 				s.opts.Logf("serve: replay %s: unbuildable spec dropped: %v", e.ID, err)
 				continue
@@ -311,6 +322,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/protocols", s.handleProtocolSubmit)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocolList)
+	mux.HandleFunc("GET /v1/protocols/{id}", s.handleProtocolGet)
 	mux.HandleFunc("POST /v1/lease", s.handleLease)
 	mux.HandleFunc("POST /v1/lease/{id}/renew", s.handleLeaseRenew)
 	mux.HandleFunc("POST /v1/lease/{id}/complete", s.handleLeaseComplete)

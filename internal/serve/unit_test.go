@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -213,7 +214,7 @@ func TestResultCacheAtomicPutGet(t *testing.T) {
 func TestJobIDContentAddressing(t *testing.T) {
 	spec := testSpec(1)
 	spec.normalize()
-	task, err := spec.buildTask()
+	task, err := spec.buildTask(nil)
 	if err != nil {
 		t.Fatalf("buildTask: %v", err)
 	}
@@ -227,7 +228,7 @@ func TestJobIDContentAddressing(t *testing.T) {
 	}
 	other := testSpec(2)
 	other.normalize()
-	otherTask, err := other.buildTask()
+	otherTask, err := other.buildTask(nil)
 	if err != nil {
 		t.Fatalf("buildTask: %v", err)
 	}
@@ -277,6 +278,28 @@ func TestTimeoutOrDefault(t *testing.T) {
 		}
 		if !c.err && got != c.want {
 			t.Errorf("timeout %q = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterSecondsClamps(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "1"},
+		{0.2, "1"}, // sub-second waits round up, never down to 0
+		{1, "1"},
+		{1.2, "2"},
+		{59.5, "60"},
+		{-5, "1"},
+		{math.NaN(), "1"},
+		{math.Inf(1), "3600"},
+		{1e300, "3600"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.in); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,219 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assembly syntax, one item per line, ';' starts a comment:
+//
+//	name minority          ; optional display name
+//	ell 3                  ; sample size (required)
+//	const 0.25             ; append a pool entry (decimal, or 0x raw fixed)
+//	loop:                  ; label
+//	  frac                 ; instruction
+//	  pushc 0              ; pool index immediate
+//	  jnz loop             ; jump immediates are labels
+//
+// Constants are parsed as float64 and must be exactly representable in
+// Q2.61 fixed point (every probability ≥ 2⁻⁹ is); `0x`-prefixed values
+// are raw fixed-point bits, for values the decimal form cannot express.
+// Assemble validates the finished program, so its output always runs.
+
+// ErrAsm wraps every assembler syntax error.
+var ErrAsm = errors.New("vm: assembly error")
+
+func asmErr(line int, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrAsm, line, fmt.Sprintf(format, args...))
+}
+
+// Assemble parses assembly text into a validated Program.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Ell: -1}
+	type fixup struct {
+		line  int
+		pos   int // offset of the i16 immediate in Code
+		label string
+	}
+	var fixups []fixup
+	labels := make(map[string]int)
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := lineNo + 1
+		text := raw
+		if i := strings.IndexByte(text, ';'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		head := fields[0]
+
+		if strings.HasSuffix(head, ":") {
+			label := strings.TrimSuffix(head, ":")
+			if label == "" || len(fields) > 1 {
+				return nil, asmErr(line, "malformed label %q", text)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, asmErr(line, "duplicate label %q", label)
+			}
+			labels[label] = len(p.Code)
+			continue
+		}
+
+		switch head {
+		case "name":
+			if len(fields) != 2 {
+				return nil, asmErr(line, "name takes one word")
+			}
+			p.Name = fields[1]
+			continue
+		case "ell":
+			if len(fields) != 2 {
+				return nil, asmErr(line, "ell takes one integer")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, asmErr(line, "bad sample size %q", fields[1])
+			}
+			p.Ell = n
+			continue
+		case "const":
+			if len(fields) != 2 {
+				return nil, asmErr(line, "const takes one value")
+			}
+			v, err := parseConst(fields[1])
+			if err != nil {
+				return nil, asmErr(line, "%v", err)
+			}
+			p.Pool = append(p.Pool, v)
+			continue
+		}
+
+		op, ok := opByName(head)
+		if !ok {
+			return nil, asmErr(line, "unknown mnemonic %q", head)
+		}
+		want := 0
+		if op.OperandBytes() > 0 {
+			want = 1
+		}
+		if len(fields)-1 != want {
+			return nil, asmErr(line, "%s takes %d operand(s), got %d", op, want, len(fields)-1)
+		}
+		p.Code = append(p.Code, byte(op))
+		switch op {
+		case OpPushC:
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx < 0 || idx > math.MaxUint16 {
+				return nil, asmErr(line, "bad pool index %q", fields[1])
+			}
+			p.Code = append(p.Code, byte(idx>>8), byte(idx))
+		case OpJmp, OpJnz:
+			fixups = append(fixups, fixup{line: line, pos: len(p.Code), label: fields[1]})
+			p.Code = append(p.Code, 0, 0)
+		}
+	}
+
+	if p.Ell < 0 {
+		return nil, fmt.Errorf("%w: missing ell directive", ErrAsm)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, asmErr(f.line, "undefined label %q", f.label)
+		}
+		off := target - (f.pos + 2)
+		if off < math.MinInt16 || off > math.MaxInt16 {
+			return nil, asmErr(f.line, "jump to %q out of i16 range (%d)", f.label, off)
+		}
+		p.Code[f.pos] = byte(uint16(off) >> 8)
+		p.Code[f.pos+1] = byte(uint16(off))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseConst parses a pool constant: `0x`-prefixed raw fixed-point bits,
+// or a decimal float that must convert exactly.
+func parseConst(s string) (int64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		neg := strings.HasPrefix(s, "-")
+		u, err := strconv.ParseUint(strings.TrimPrefix(strings.TrimPrefix(s, "-"), "0x"), 16, 64)
+		if err != nil || (!neg && u > math.MaxInt64) || (neg && u > 1<<63) {
+			return 0, fmt.Errorf("bad raw constant %q", s)
+		}
+		return satSigned(neg, u), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad constant %q", s)
+	}
+	v, exact := FromFloat(f)
+	if !exact {
+		return 0, fmt.Errorf("%w (%q)", ErrNotRepresentable, s)
+	}
+	return v, nil
+}
+
+// Disassemble renders a validated program as assembly text that
+// reassembles to the identical program (labels are synthesized as
+// L<offset> for every jump target).
+func (p *Program) Disassemble() (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	targets := make(map[int]bool)
+	for pc := 0; pc < len(p.Code); {
+		op := Op(p.Code[pc])
+		next := pc + 1 + op.OperandBytes()
+		if op == OpJmp || op == OpJnz {
+			off := int(int16(uint16(p.Code[pc+1])<<8 | uint16(p.Code[pc+2])))
+			targets[next+off] = true
+		}
+		pc = next
+	}
+
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "name %s\n", p.Name)
+	}
+	fmt.Fprintf(&b, "ell %d\n", p.Ell)
+	for _, v := range p.Pool {
+		f := ToFloat(v)
+		if rt, exact := FromFloat(f); exact && rt == v {
+			fmt.Fprintf(&b, "const %s\n", strconv.FormatFloat(f, 'g', -1, 64))
+		} else if v < 0 {
+			fmt.Fprintf(&b, "const -0x%x\n", absU64(v))
+		} else {
+			fmt.Fprintf(&b, "const 0x%x\n", uint64(v))
+		}
+	}
+	for pc := 0; pc < len(p.Code); {
+		if targets[pc] {
+			fmt.Fprintf(&b, "L%d:\n", pc)
+		}
+		op := Op(p.Code[pc])
+		next := pc + 1 + op.OperandBytes()
+		switch op {
+		case OpPushC:
+			fmt.Fprintf(&b, "  pushc %d\n", int(p.Code[pc+1])<<8|int(p.Code[pc+2]))
+		case OpJmp, OpJnz:
+			off := int(int16(uint16(p.Code[pc+1])<<8 | uint16(p.Code[pc+2])))
+			fmt.Fprintf(&b, "  %s L%d\n", op, next+off)
+		default:
+			fmt.Fprintf(&b, "  %s\n", op)
+		}
+		pc = next
+	}
+	if targets[len(p.Code)] {
+		fmt.Fprintf(&b, "L%d:\n", len(p.Code))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Binary program encoding:
+//
+//	magic "BSVM" | version 0x01
+//	u16 ℓ | u16 name length | name bytes
+//	u32 code length | code bytes
+//	u16 pool length | pool entries as big-endian u64 (two's complement)
+//
+// All integers are big-endian. The encoding is canonical — one program,
+// one byte string — so decoding then re-encoding is the identity and a
+// hash of the encoding is stable.
+
+const magic = "BSVM\x01"
+
+// ErrEncoding is returned by Decode for malformed input.
+var ErrEncoding = errors.New("vm: malformed program encoding")
+
+// Encode serializes the program to the canonical binary form.
+func (p *Program) Encode() []byte {
+	out := make([]byte, 0, len(magic)+8+len(p.Name)+len(p.Code)+8*len(p.Pool)+6)
+	out = append(out, magic...)
+	out = binary.BigEndian.AppendUint16(out, uint16(p.Ell))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(p.Name)))
+	out = append(out, p.Name...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.Code)))
+	out = append(out, p.Code...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(p.Pool)))
+	for _, v := range p.Pool {
+		out = binary.BigEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// Decode parses the canonical binary form and validates the program.
+func Decode(data []byte) (*Program, error) {
+	r := data
+	take := func(n int) ([]byte, error) {
+		if len(r) < n {
+			return nil, fmt.Errorf("%w (truncated)", ErrEncoding)
+		}
+		b := r[:n]
+		r = r[n:]
+		return b, nil
+	}
+	m, err := take(len(magic))
+	if err != nil || string(m) != magic {
+		return nil, fmt.Errorf("%w (bad magic)", ErrEncoding)
+	}
+	hdr, err := take(4)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Ell: int(binary.BigEndian.Uint16(hdr))}
+	nameLen := int(binary.BigEndian.Uint16(hdr[2:]))
+	name, err := take(nameLen)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = string(name)
+	clen, err := take(4)
+	if err != nil {
+		return nil, err
+	}
+	codeLen := int(binary.BigEndian.Uint32(clen))
+	if codeLen > MaxCodeBytes {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrCodeSize, codeLen)
+	}
+	code, err := take(codeLen)
+	if err != nil {
+		return nil, err
+	}
+	p.Code = append([]byte(nil), code...)
+	plen, err := take(2)
+	if err != nil {
+		return nil, err
+	}
+	poolLen := int(binary.BigEndian.Uint16(plen))
+	if poolLen > MaxPoolEntries {
+		return nil, fmt.Errorf("%w (%d entries)", ErrPoolSize, poolLen)
+	}
+	p.Pool = make([]int64, poolLen)
+	for i := range p.Pool {
+		e, err := take(8)
+		if err != nil {
+			return nil, err
+		}
+		p.Pool[i] = int64(binary.BigEndian.Uint64(e))
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("%w (%d trailing bytes)", ErrEncoding, len(r))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Address returns the program's content address: the first 16 hex digits
+// of the SHA-256 over its semantics (ℓ, code, pool). The display Name is
+// deliberately excluded, so renaming a protocol cannot mint a second
+// identity for the same rule — the property the serve registry and the
+// job-deduplication path rely on.
+func (p *Program) Address() string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint16(buf[:2], uint16(p.Ell))
+	h.Write(buf[:2])
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(p.Code)))
+	h.Write(buf[:4])
+	h.Write(p.Code)
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(p.Pool)))
+	h.Write(buf[:2])
+	for _, v := range p.Pool {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

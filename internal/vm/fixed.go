@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"math"
+	"math/bits"
+)
+
+// The VM computes in Q2.61 signed fixed point: value = raw / 2^61. The
+// representable range is (-4, 4), probabilities live in [0, One], and
+// all arithmetic is saturating integer arithmetic — bit-identical on
+// every platform, which is the whole point: no FMA contraction, no x87
+// extended precision, no libm variance can leak into an evolved rule's
+// fitness or a service-accepted protocol's table.
+//
+// 61 fractional bits are chosen so that conversion to and from float64
+// is *exact* on the values rule tables actually contain: any float64
+// probability p with p = 0 or p ≥ 2⁻⁹ (and every dyadic below that)
+// satisfies p·2⁶¹ ∈ ℤ, because a 53-bit significand with binary
+// exponent ≥ -9 has its lowest set bit at ≥ 2⁻⁶¹. That is what lets a
+// compiled builtin round-trip to bytecode and back without moving a
+// single result bit in any engine.
+const (
+	fracBits = 61
+	// One is the fixed-point representation of 1.0.
+	One int64 = 1 << fracBits
+)
+
+// satAdd returns a+b with int64 saturation.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	// Overflow iff operands share a sign and the sum flipped it.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+// satNeg returns -a, saturating MinInt64 to MaxInt64.
+func satNeg(a int64) int64 {
+	if a == math.MinInt64 {
+		return math.MaxInt64
+	}
+	return -a
+}
+
+// absU64 returns |a| as a uint64 (total, including MinInt64).
+func absU64(a int64) uint64 {
+	if a < 0 {
+		return -uint64(a)
+	}
+	return uint64(a)
+}
+
+// fixMul returns (a·b)/2⁶¹ with saturation, via 128-bit arithmetic.
+func fixMul(a, b int64) int64 {
+	neg := (a < 0) != (b < 0)
+	hi, lo := bits.Mul64(absU64(a), absU64(b))
+	if hi>>fracBits != 0 {
+		// The shifted product does not fit in 64 bits.
+		return satSigned(neg, math.MaxUint64)
+	}
+	return satSigned(neg, hi<<(64-fracBits)|lo>>fracBits)
+}
+
+// fixDiv returns (a·2⁶¹)/b with saturation; division by zero is defined
+// as 0 so evaluation is total.
+func fixDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	ua, ub := absU64(a), absU64(b)
+	hi, lo := ua>>(64-fracBits), ua<<fracBits
+	if hi >= ub {
+		// Quotient exceeds 64 bits.
+		return satSigned(neg, math.MaxUint64)
+	}
+	q, _ := bits.Div64(hi, lo, ub)
+	return satSigned(neg, q)
+}
+
+// satSigned clamps an unsigned magnitude into int64 with the given sign.
+func satSigned(neg bool, mag uint64) int64 {
+	if neg {
+		if mag > 1<<63 {
+			return math.MinInt64
+		}
+		return -int64(mag)
+	}
+	if mag > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(mag)
+}
+
+// clamp01 clamps a fixed-point value into [0, One].
+func clamp01(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > One {
+		return One
+	}
+	return v
+}
+
+// frac returns k/ℓ in fixed point (floor rounding, exact 128-bit
+// division). Callers guarantee 0 ≤ k ≤ ℓ and ℓ ≥ 1.
+func frac(k, ell int) int64 {
+	hi, lo := uint64(k)>>(64-fracBits), uint64(k)<<fracBits
+	q, _ := bits.Div64(hi, lo, uint64(ell))
+	return int64(q)
+}
+
+// ToFloat converts a fixed-point value to the nearest float64. The
+// conversion is exact whenever the raw value has at most 53 significant
+// bits — in particular on every value FromFloat accepts.
+func ToFloat(v int64) float64 {
+	return float64(v) / float64(One)
+}
+
+// FromFloat converts a float64 to fixed point. exact is false when p is
+// not representable (NaN, out of (-4, 4), or needing more than 61
+// fractional bits); the returned value is then the nearest representable
+// one (round to nearest, ties to even).
+func FromFloat(p float64) (v int64, exact bool) {
+	if p != p { // NaN
+		return 0, false
+	}
+	scaled := math.Ldexp(p, fracBits)
+	if scaled >= math.MaxInt64 {
+		return math.MaxInt64, false
+	}
+	if scaled <= math.MinInt64 {
+		return math.MinInt64, false
+	}
+	r := math.RoundToEven(scaled)
+	//bitlint:floatexact Ldexp only shifts the exponent, so scaled is unrounded iff p had ≤61 fractional bits — an exact comparison is the test itself
+	return int64(r), r == scaled
+}
+
+// Quantize rounds p to the nearest fixed-point-representable probability
+// in [0, 1]. It is the projection FuzzVMEquivalence and the evolutionary
+// mutators use to keep float inputs on the VM's exact grid.
+func Quantize(p float64) float64 {
+	v, _ := FromFloat(p)
+	return ToFloat(clamp01(v))
+}
